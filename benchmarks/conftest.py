@@ -1,0 +1,30 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure from the paper, prints it,
+and writes it under ``benchmarks/results/`` so EXPERIMENTS.md can refer
+to concrete artefacts.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_table(results_dir):
+    def _record(name: str, title: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        content = f"{title}\n{'=' * len(title)}\n{text}\n"
+        path.write_text(content)
+        print()
+        print(content)
+
+    return _record

@@ -1,0 +1,21 @@
+"""Fig. 1 — number of gadgets, original vs obfuscated, per program.
+
+Paper shape: obfuscation substantially increases the gadget count in
+every benchmark program (roughly 1.4–2× for O-LLVM, more for Tigress).
+"""
+
+from repro.bench import BENCHMARK_SUITE, fig1_gadget_counts, format_fig1
+
+
+def test_fig1_gadget_counts(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig1_gadget_counts,
+        kwargs={"programs": tuple(BENCHMARK_SUITE)},
+        iterations=1,
+        rounds=1,
+    )
+    record_table("fig1_gadget_counts", "Fig. 1: syntactic gadget counts", format_fig1(rows))
+    # The paper's headline finding must hold for every single program.
+    for row in rows:
+        assert row.counts["llvm_obf"] > row.counts["none"], row.program
+        assert row.counts["tigress"] > row.counts["none"], row.program

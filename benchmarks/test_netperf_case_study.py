@@ -1,0 +1,60 @@
+"""The netperf case study (Sec. VI-C) — Fig. 7/8.
+
+Paper shape: Gadget-Planner builds multiple payloads on the obfuscated
+netperf; at least one delivers end-to-end through the real ``-a``
+argument overflow (Fig. 8's execve chain spawning a shell).
+"""
+
+import pytest
+
+from repro.bench import BENCH_EXTRACTION, BENCH_PLANNER
+from repro.bench.netperf import (
+    build_exploit_argument,
+    find_overflow_offset,
+    netperf_image,
+    run_netperf_with_arg,
+)
+from repro.obfuscation import CONFIGS
+from repro.planner import GadgetPlanner, PlannerConfig
+
+
+def _case_study():
+    linked = netperf_image(CONFIGS["llvm_obf"], seed=7)
+    offset = find_overflow_offset(linked)
+    planner = GadgetPlanner(
+        linked.image,
+        extraction=BENCH_EXTRACTION,
+        planner=PlannerConfig(max_nodes=1500, max_plans=10, max_steps=8, providers_per_cond=4),
+    )
+    report = planner.run()
+    delivered = []
+    for payload in report.payloads:
+        arg = build_exploit_argument(linked, payload.to_bytes(), offset=offset)
+        if arg is None:
+            continue
+        _, event = run_netperf_with_arg(linked, arg)
+        if event is not None:
+            delivered.append((payload, event))
+    return linked, offset, report, delivered
+
+
+def test_netperf_case_study(benchmark, record_table):
+    linked, offset, report, delivered = benchmark.pedantic(_case_study, iterations=1, rounds=1)
+    lines = [
+        f"obfuscated netperf-like client: {len(linked.image.text.data)} bytes of text",
+        f"overflow offset (cyclic pattern): {offset}",
+        f"gadgets: {report.gadgets_total} -> {report.gadgets_after_subsumption} after subsumption",
+        f"validated payloads: {report.per_goal}",
+        f"delivered end-to-end through -a: {len(delivered)}",
+    ]
+    for payload, event in delivered:
+        lines.append(f"  {payload.goal_name}: syscall {event.number.name}{event.args[:3]}")
+    example = next((p for p, e in delivered), None)
+    if example is not None:
+        lines.append("")
+        lines.append(example.describe())
+    record_table("netperf_case_study", "netperf case study (Fig. 7/8)", "\n".join(lines))
+
+    assert offset is not None, "overflow offset discovery failed"
+    assert report.total_payloads >= 1, "no payloads on obfuscated netperf"
+    assert delivered, "no payload survived delivery through break_args"

@@ -1,0 +1,44 @@
+"""Table V — chain properties per tool.
+
+Paper shape: ROPGadget/angrop chains are 100% ret gadgets;
+Gadget-Planner uses all gadget families (Ret/IJ/DJ/CJ), builds the
+longest chains, and uses the longest gadgets.
+"""
+
+import pytest
+
+from repro.bench import (
+    collect_payloads_by_tool,
+    format_table5,
+    table5_chain_properties,
+)
+from benchmarks.test_table4_payloads import TABLE4_PROGRAMS
+
+
+def test_table5_chain_properties(benchmark, record_table):
+    payloads = benchmark.pedantic(
+        collect_payloads_by_tool,
+        kwargs={"programs": TABLE4_PROGRAMS},
+        iterations=1,
+        rounds=1,
+    )
+    rows = table5_chain_properties(payloads)
+    record_table("table5_chain_properties", "Table V: chain properties", format_table5(rows))
+    by_tool = {r.tool: r for r in rows}
+
+    gp = by_tool["gadget_planner"]
+    assert payloads["gadget_planner"], "GP produced no payloads to measure"
+    # Baselines that produced chains used only ret gadgets.
+    for tool in ("ropgadget", "angrop"):
+        if payloads[tool]:
+            assert by_tool[tool].pct_ret == 100.0, tool
+            assert by_tool[tool].pct_cj == 0.0, tool
+    if payloads["sgc"]:
+        assert by_tool["sgc"].pct_cj == 0.0
+        assert by_tool["sgc"].pct_dj == 0.0
+    # GP's chains are the most diverse and at least as long as any
+    # baseline's (the paper: longest chains, largest gadgets).
+    comparable = [by_tool[t] for t in ("ropgadget", "angrop", "sgc") if payloads[t]]
+    for other in comparable:
+        assert gp.avg_chain_len >= other.avg_chain_len * 0.9
+    assert gp.pct_cj + gp.pct_dj + gp.pct_ij > 0, "GP should use non-ret gadget families"

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Fig. 6 revisited: a chain from 429.mcf that pattern tools cannot build.
+
+Runs all four tools on the (obfuscated) mcf-like SPEC program and
+prints the most interesting Gadget-Planner chain — preferring one that
+uses conditional or merged-direct-jump gadgets, the gadget classes no
+baseline touches (Table V).
+
+Run:  python examples/spec_mcf_chain.py
+"""
+
+from repro.bench import build, run_tool
+
+
+def main() -> None:
+    program, config = "429.mcf", "llvm_obf"
+    print(f"target: {program} under {config}\n")
+
+    results = {}
+    for tool in ("ropgadget", "angrop", "sgc", "gadget_planner"):
+        result = run_tool(tool, program, config)
+        results[tool] = result
+        print(f"{tool:<16} gadgets={result.gadgets_total:<7} chains={result.total_payloads}")
+
+    gp = results["gadget_planner"]
+    if not gp.payloads:
+        print("\nGadget-Planner found no chain on this build/seed — try another seed.")
+        return
+
+    def interest(payload):
+        return sum(g.conditional_jumps + g.merged_direct_jumps for g in payload.chain)
+
+    best = max(gp.payloads, key=interest)
+    print("\nmost structurally diverse validated chain:")
+    print(best.describe())
+    conditional = sum(1 for g in best.chain if g.conditional_jumps)
+    merged = sum(1 for g in best.chain if g.merged_direct_jumps)
+    print(f"\nconditional-jump gadgets in chain: {conditional}")
+    print(f"merged direct-jump gadgets:        {merged}")
+    others = {t: r.total_payloads for t, r in results.items() if t != "gadget_planner"}
+    print(f"baseline chain counts for comparison: {others}")
+
+
+if __name__ == "__main__":
+    main()

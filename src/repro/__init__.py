@@ -1,0 +1,25 @@
+"""Gadget-Planner: a reproduction of "No Free Lunch: On the Increased
+Code Reuse Attack Surface of Obfuscated Programs" (DSN 2023).
+
+The package is organised bottom-up:
+
+* :mod:`repro.isa`, :mod:`repro.binfmt`, :mod:`repro.emulator` — the
+  NFL machine: an x86-64-flavoured ISA with variable-length encoding,
+  an executable container, and a concrete interpreter.
+* :mod:`repro.lang`, :mod:`repro.compiler` — a mini-C frontend and a
+  compiler targeting the NFL machine.
+* :mod:`repro.obfuscation` — Obfuscator-LLVM- and Tigress-style passes.
+* :mod:`repro.symex`, :mod:`repro.solver` — bit-vector symbolic
+  execution and a bit-blasting SAT-based constraint solver.
+* :mod:`repro.gadgets` — gadget extraction, records, classification,
+  and subsumption testing.
+* :mod:`repro.planner` — the paper's contribution: partial-order
+  planning over gadget semantics, payload emission, goal library.
+* :mod:`repro.baselines` — ROPGadget-, angrop-, and SGC-style tools.
+* :mod:`repro.bench` — benchmark program suites and the experiment
+  harness behind every table and figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

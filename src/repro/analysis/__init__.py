@@ -1,0 +1,5 @@
+"""Binary analysis: CFG recovery."""
+
+from .cfg import CFG, BasicBlock, recover_cfg
+
+__all__ = ["BasicBlock", "CFG", "recover_cfg"]

@@ -1,0 +1,17 @@
+"""Baseline code-reuse tools: ROPGadget-, angrop-, and SGC-style."""
+
+from .angrop import AngropLike
+from .common import BaselineReport, BaselineTool
+from .ropgadget import ROPGadgetLike
+from .sgc import SGCLike
+
+ALL_BASELINES = (ROPGadgetLike, AngropLike, SGCLike)
+
+__all__ = [
+    "ALL_BASELINES",
+    "AngropLike",
+    "BaselineReport",
+    "BaselineTool",
+    "ROPGadgetLike",
+    "SGCLike",
+]

@@ -1,0 +1,68 @@
+"""Shared infrastructure for the baseline code-reuse tools."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..binfmt.image import BinaryImage
+from ..planner.goals import AttackGoal, ResolvedGoal, resolve_goal, standard_goals
+from ..planner.payload import AttackPayload, validate_payload
+
+
+@dataclass
+class BaselineReport:
+    """Mirror of :class:`repro.planner.PlannerReport` for peer tools."""
+
+    tool: str
+    gadgets_total: int = 0
+    payloads: List[AttackPayload] = field(default_factory=list)
+    per_goal: Dict[str, int] = field(default_factory=dict)
+    finding_time: float = 0.0
+    chaining_time: float = 0.0
+
+    @property
+    def total_payloads(self) -> int:
+        return len(self.payloads)
+
+    def gadgets_used(self) -> int:
+        return sum(len(p.chain) for p in self.payloads)
+
+
+class BaselineTool:
+    """Interface every baseline implements."""
+
+    name = "baseline"
+
+    def find_gadgets(self, image: BinaryImage):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def build_chains(
+        self, image: BinaryImage, gadgets, resolved: ResolvedGoal
+    ) -> List[AttackPayload]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def run(
+        self, image: BinaryImage, goals: Optional[Sequence[AttackGoal]] = None
+    ) -> BaselineReport:
+        report = BaselineReport(tool=self.name)
+        goals = list(goals) if goals is not None else standard_goals(image)
+        t0 = time.perf_counter()
+        gadgets = self.find_gadgets(image)
+        report.gadgets_total = len(gadgets)
+        report.finding_time = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        for goal in goals:
+            report.per_goal.setdefault(goal.name, 0)
+            try:
+                resolved = resolve_goal(image, goal)
+            except ValueError:
+                continue
+            for payload in self.build_chains(image, gadgets, resolved):
+                if validate_payload(image, payload, resolved):
+                    report.payloads.append(payload)
+                    report.per_goal[goal.name] += 1
+        report.chaining_time = time.perf_counter() - t1
+        return report

@@ -1,0 +1,487 @@
+"""The obfuscation benchmark suite (Banescu et al. substitute).
+
+Twelve small-but-real MC programs with the diversity the paper's
+benchmark provides: sorting, searching, numeric kernels, bit
+manipulation, a stream cipher, string processing, dynamic programming,
+recursion, a heap, a state machine, hashing, and multi-word arithmetic.
+Every program is self-checking: it prints a checksum, so the harness
+can assert that obfuscation preserved behaviour before measuring
+anything on the obfuscated binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchProgram:
+    name: str
+    source: str
+    description: str
+
+
+BUBBLE_SORT = BenchProgram(
+    name="bubble_sort",
+    description="classic exchange sort over a pseudo-random array",
+    source="""
+u64 a[24];
+
+u64 main() {
+    u64 seed = 12345;
+    for (u64 i = 0; i < 24; i++) {
+        seed = seed * 1103515245 + 12345;
+        a[i] = (seed >> 16) % 1000;
+    }
+    for (u64 i = 0; i < 24; i++) {
+        for (u64 j = 0; j + 1 < 24 - i; j++) {
+            if (a[j] > a[j + 1]) {
+                u64 t = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = t;
+            }
+        }
+    }
+    u64 check = 0;
+    for (u64 i = 0; i < 24; i++) { check = check * 31 + a[i]; }
+    print(check % 1000000007);
+    return 0;
+}
+""",
+)
+
+BINARY_SEARCH = BenchProgram(
+    name="binary_search",
+    description="repeated binary search over a sorted table",
+    source="""
+u64 table[32];
+
+u64 bsearch(u64 key) {
+    u64 lo = 0;
+    u64 hi = 32;
+    while (lo < hi) {
+        u64 mid = (lo + hi) / 2;
+        if (table[mid] == key) { return mid; }
+        if (table[mid] < key) { lo = mid + 1; }
+        else { hi = mid; }
+    }
+    return 999;
+}
+
+u64 main() {
+    for (u64 i = 0; i < 32; i++) { table[i] = i * 7 + 3; }
+    u64 hits = 0;
+    u64 misses = 0;
+    for (u64 k = 0; k < 240; k++) {
+        u64 r = bsearch(k);
+        if (r != 999) { hits = hits + r; }
+        else { misses++; }
+    }
+    print(hits);
+    print(misses);
+    return 0;
+}
+""",
+)
+
+MATRIX_MULTIPLY = BenchProgram(
+    name="matrix_multiply",
+    description="dense 6x6 integer matrix product",
+    source="""
+u64 a[36];
+u64 b[36];
+u64 c[36];
+
+u64 main() {
+    for (u64 i = 0; i < 36; i++) {
+        a[i] = (i * 17 + 5) % 23;
+        b[i] = (i * 13 + 7) % 19;
+    }
+    for (u64 i = 0; i < 6; i++) {
+        for (u64 j = 0; j < 6; j++) {
+            u64 s = 0;
+            for (u64 k = 0; k < 6; k++) {
+                s += a[i * 6 + k] * b[k * 6 + j];
+            }
+            c[i * 6 + j] = s;
+        }
+    }
+    u64 check = 0;
+    for (u64 i = 0; i < 36; i++) { check = check * 131 + c[i]; }
+    print(check % 1000000007);
+    return 0;
+}
+""",
+)
+
+CRC32 = BenchProgram(
+    name="crc32",
+    description="bitwise CRC-32 over a message",
+    source="""
+u8 msg[64];
+
+u64 main() {
+    for (u64 i = 0; i < 64; i++) { msg[i] = (i * 41 + 11) % 256; }
+    u64 crc = 0xFFFFFFFF;
+    for (u64 i = 0; i < 64; i++) {
+        crc = crc ^ msg[i];
+        for (u64 b = 0; b < 8; b++) {
+            if (crc & 1) { crc = (crc >> 1) ^ 0xEDB88320; }
+            else { crc = crc >> 1; }
+        }
+    }
+    print(crc ^ 0xFFFFFFFF);
+    return 0;
+}
+""",
+)
+
+RC4_LIKE = BenchProgram(
+    name="rc4_like",
+    description="key-scheduled stream cipher (RC4 structure)",
+    source="""
+u64 S[64];
+u8 key[8];
+u8 data[32];
+
+u64 main() {
+    for (u64 i = 0; i < 8; i++) { key[i] = i * 3 + 1; }
+    for (u64 i = 0; i < 32; i++) { data[i] = i + 65; }
+    for (u64 i = 0; i < 64; i++) { S[i] = i; }
+    u64 j = 0;
+    for (u64 i = 0; i < 64; i++) {
+        j = (j + S[i] + key[i % 8]) % 64;
+        u64 t = S[i]; S[i] = S[j]; S[j] = t;
+    }
+    u64 x = 0;
+    j = 0;
+    u64 check = 0;
+    for (u64 k = 0; k < 32; k++) {
+        x = (x + 1) % 64;
+        j = (j + S[x]) % 64;
+        u64 t = S[x]; S[x] = S[j]; S[j] = t;
+        u64 ks = S[(S[x] + S[j]) % 64];
+        check = check * 257 + (data[k] ^ ks);
+    }
+    print(check % 1000000007);
+    return 0;
+}
+""",
+)
+
+STRING_OPS = BenchProgram(
+    name="string_ops",
+    description="reverse, compare, palindrome detection",
+    source="""
+u8 buf[48];
+
+u64 strlen_(u8* s) {
+    u64 n = 0;
+    while (s[n] != 0) { n++; }
+    return n;
+}
+
+u64 reverse(u8* s) {
+    u64 n = strlen_(s);
+    for (u64 i = 0; i < n / 2; i++) {
+        u8 t = s[i];
+        s[i] = s[n - 1 - i];
+        s[n - 1 - i] = t;
+    }
+    return n;
+}
+
+u64 is_palindrome(u8* s) {
+    u64 n = strlen_(s);
+    for (u64 i = 0; i < n / 2; i++) {
+        if (s[i] != s[n - 1 - i]) { return 0; }
+    }
+    return 1;
+}
+
+u64 main() {
+    u8* src = "reliefpfeiler";
+    u64 i = 0;
+    while (src[i] != 0) { buf[i] = src[i]; i++; }
+    buf[i] = 0;
+    u64 p1 = is_palindrome(buf);
+    reverse(buf);
+    print_str(buf);
+    print_char(10);
+    print(p1 * 100 + is_palindrome(buf));
+    return 0;
+}
+""",
+)
+
+FIB_DP = BenchProgram(
+    name="fibonacci_dp",
+    description="iterative DP Fibonacci + modular sums",
+    source="""
+u64 memo[40];
+
+u64 main() {
+    memo[0] = 0;
+    memo[1] = 1;
+    for (u64 i = 2; i < 40; i++) {
+        memo[i] = (memo[i - 1] + memo[i - 2]) % 1000000007;
+    }
+    u64 s = 0;
+    for (u64 i = 0; i < 40; i++) { s = (s + memo[i] * i) % 1000000007; }
+    print(s);
+    return 0;
+}
+""",
+)
+
+QUICKSORT = BenchProgram(
+    name="quicksort",
+    description="recursive quicksort with first-element pivot",
+    source="""
+u64 a[20];
+
+u64 qsort_(u64 lo, u64 hi) {
+    if (lo + 1 >= hi) { return 0; }
+    u64 pivot = a[lo];
+    u64 i = lo + 1;
+    u64 store = lo + 1;
+    while (i < hi) {
+        if (a[i] < pivot) {
+            u64 t = a[i]; a[i] = a[store]; a[store] = t;
+            store++;
+        }
+        i++;
+    }
+    u64 t = a[lo]; a[lo] = a[store - 1]; a[store - 1] = t;
+    qsort_(lo, store - 1);
+    qsort_(store, hi);
+    return 0;
+}
+
+u64 main() {
+    u64 seed = 777;
+    for (u64 i = 0; i < 20; i++) {
+        seed = seed * 6364136223846793005 + 1442695040888963407;
+        a[i] = (seed >> 33) % 500;
+    }
+    qsort_(0, 20);
+    u64 ok = 1;
+    u64 check = 0;
+    for (u64 i = 0; i < 20; i++) {
+        if (i > 0 && a[i] < a[i - 1]) { ok = 0; }
+        check = check * 37 + a[i];
+    }
+    print(ok);
+    print(check % 1000000007);
+    return 0;
+}
+""",
+)
+
+PRIORITY_QUEUE = BenchProgram(
+    name="priority_queue",
+    description="binary min-heap push/pop workload",
+    source="""
+u64 heap[40];
+u64 size = 0;
+
+u64 push(u64 v) {
+    heap[size] = v;
+    u64 i = size;
+    size++;
+    while (i > 0) {
+        u64 parent = (i - 1) / 2;
+        if (heap[parent] <= heap[i]) { break; }
+        u64 t = heap[parent]; heap[parent] = heap[i]; heap[i] = t;
+        i = parent;
+    }
+    return 0;
+}
+
+u64 pop() {
+    u64 top = heap[0];
+    size--;
+    heap[0] = heap[size];
+    u64 i = 0;
+    while (1) {
+        u64 l = 2 * i + 1;
+        u64 r = 2 * i + 2;
+        u64 smallest = i;
+        if (l < size && heap[l] < heap[smallest]) { smallest = l; }
+        if (r < size && heap[r] < heap[smallest]) { smallest = r; }
+        if (smallest == i) { break; }
+        u64 t = heap[i]; heap[i] = heap[smallest]; heap[smallest] = t;
+        i = smallest;
+    }
+    return top;
+}
+
+u64 main() {
+    u64 seed = 42;
+    for (u64 k = 0; k < 30; k++) {
+        seed = seed * 1103515245 + 12345;
+        push((seed >> 16) % 997);
+    }
+    u64 prev = 0;
+    u64 ordered = 1;
+    u64 check = 0;
+    while (size > 0) {
+        u64 v = pop();
+        if (v < prev) { ordered = 0; }
+        prev = v;
+        check = check * 41 + v;
+    }
+    print(ordered);
+    print(check % 1000000007);
+    return 0;
+}
+""",
+)
+
+STATE_MACHINE = BenchProgram(
+    name="state_machine",
+    description="token classifier over a byte stream (DFA)",
+    source="""
+u8 input[48];
+
+u64 main() {
+    u8* text = "ab12 cd34ef  56gh 789 ij";
+    u64 i = 0;
+    while (text[i] != 0) { input[i] = text[i]; i++; }
+    input[i] = 0;
+    u64 state = 0;      // 0=space 1=alpha 2=digit
+    u64 words = 0;
+    u64 numbers = 0;
+    u64 transitions = 0;
+    for (u64 k = 0; input[k] != 0; k++) {
+        u8 c = input[k];
+        u64 next = 0;
+        if (c >= 'a' && c <= 'z') { next = 1; }
+        else if (c >= '0' && c <= '9') { next = 2; }
+        if (next != state) {
+            transitions++;
+            if (next == 1) { words++; }
+            if (next == 2) { numbers++; }
+        }
+        state = next;
+    }
+    print(words);
+    print(numbers);
+    print(transitions);
+    return 0;
+}
+""",
+)
+
+HASH_TABLE = BenchProgram(
+    name="hash_table",
+    description="open-addressing hash table insert/lookup",
+    source="""
+u64 keys[64];
+u64 vals[64];
+u64 used[64];
+
+u64 insert(u64 key, u64 value) {
+    u64 h = (key * 2654435761) % 64;
+    while (used[h]) {
+        if (keys[h] == key) { vals[h] = value; return h; }
+        h = (h + 1) % 64;
+    }
+    used[h] = 1;
+    keys[h] = key;
+    vals[h] = value;
+    return h;
+}
+
+u64 lookup(u64 key) {
+    u64 h = (key * 2654435761) % 64;
+    u64 probes = 0;
+    while (used[h] && probes < 64) {
+        if (keys[h] == key) { return vals[h]; }
+        h = (h + 1) % 64;
+        probes++;
+    }
+    return 0xFFFF;
+}
+
+u64 main() {
+    for (u64 i = 0; i < 40; i++) { insert(i * i + 3, i * 11); }
+    u64 found = 0;
+    u64 missing = 0;
+    for (u64 i = 0; i < 40; i++) {
+        u64 v = lookup(i * i + 3);
+        if (v == i * 11) { found++; }
+        if (lookup(i * i + 4) == 0xFFFF) { missing++; }
+    }
+    print(found);
+    print(missing);
+    return 0;
+}
+""",
+)
+
+BIGINT_ADD = BenchProgram(
+    name="bigint_add",
+    description="multi-word addition/doubling with carries",
+    source="""
+u64 x[8];
+u64 y[8];
+u64 z[8];
+
+u64 add_big() {
+    u64 carry = 0;
+    for (u64 i = 0; i < 8; i++) {
+        u64 s = x[i] + y[i];
+        u64 c1 = 0;
+        if (s < x[i]) { c1 = 1; }
+        u64 s2 = s + carry;
+        if (s2 < s) { c1 = 1; }
+        z[i] = s2;
+        carry = c1;
+    }
+    return carry;
+}
+
+u64 main() {
+    for (u64 i = 0; i < 8; i++) {
+        x[i] = 0xFFFFFFFFFFFFFFFF - i * 3;
+        y[i] = i * 0x123456789 + 7;
+    }
+    u64 carry = add_big();
+    u64 check = carry;
+    for (u64 i = 0; i < 8; i++) { check = check ^ (z[i] * (i + 1)); }
+    print(check % 1000000007);
+    return 0;
+}
+""",
+)
+
+#: The complete suite, keyed by name.
+BENCHMARK_SUITE: Dict[str, BenchProgram] = {
+    p.name: p
+    for p in (
+        BUBBLE_SORT,
+        BINARY_SEARCH,
+        MATRIX_MULTIPLY,
+        CRC32,
+        RC4_LIKE,
+        STRING_OPS,
+        FIB_DP,
+        QUICKSORT,
+        PRIORITY_QUEUE,
+        STATE_MACHINE,
+        HASH_TABLE,
+        BIGINT_ADD,
+    )
+}
+
+#: A smaller subset for expensive full-pipeline sweeps.
+CORE_SUITE: Tuple[str, ...] = (
+    "bubble_sort",
+    "crc32",
+    "string_ops",
+    "fibonacci_dp",
+    "state_machine",
+    "hash_table",
+)

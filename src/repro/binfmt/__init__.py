@@ -1,0 +1,27 @@
+"""The NFLF executable container and conventional memory layout."""
+
+from .image import (
+    BinaryFormatError,
+    BinaryImage,
+    DATA_BASE,
+    MAGIC,
+    SCRATCH_SIZE,
+    Section,
+    STACK_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    make_image,
+)
+
+__all__ = [
+    "BinaryFormatError",
+    "BinaryImage",
+    "DATA_BASE",
+    "MAGIC",
+    "SCRATCH_SIZE",
+    "STACK_SIZE",
+    "STACK_TOP",
+    "Section",
+    "TEXT_BASE",
+    "make_image",
+]

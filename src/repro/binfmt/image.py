@@ -1,0 +1,165 @@
+"""The NFLF ("No Free Lunch Format") executable container.
+
+A minimal ELF stand-in: named sections with load addresses and
+permissions, a symbol table, and an entry point.  Images can be
+serialized to bytes and parsed back, so the loader exercises a real
+parse path rather than passing Python objects around.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+MAGIC = b"NFLF\x01"
+
+#: Conventional load addresses (ASLR is assumed disabled, per the threat model).
+TEXT_BASE = 0x400000
+DATA_BASE = 0x600000
+#: A writable scratch area inside .data reserved for attacker payload data.
+SCRATCH_SIZE = 0x1000
+STACK_TOP = 0x7FFF0000
+STACK_SIZE = 0x30000
+
+
+class BinaryFormatError(ValueError):
+    """Raised when parsing a malformed NFLF image."""
+
+
+@dataclass(frozen=True)
+class Section:
+    """A loadable section."""
+
+    name: str
+    addr: int
+    data: bytes
+    writable: bool = False
+    executable: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+@dataclass
+class BinaryImage:
+    """A complete executable image."""
+
+    sections: List[Section] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = TEXT_BASE
+
+    def section(self, name: str) -> Section:
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        raise KeyError(f"no section named {name!r}")
+
+    @property
+    def text(self) -> Section:
+        return self.section(".text")
+
+    @property
+    def data(self) -> Section:
+        return self.section(".data")
+
+    def section_at(self, addr: int) -> Optional[Section]:
+        for sec in self.sections:
+            if sec.contains(addr):
+                return sec
+        return None
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read bytes across the image's static sections."""
+        sec = self.section_at(addr)
+        if sec is None or addr + size > sec.end:
+            raise BinaryFormatError(f"read outside image: {addr:#x}+{size}")
+        off = addr - sec.addr
+        return sec.data[off : off + size]
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"no symbol named {name!r}") from None
+
+    # -- serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the on-disk NFLF representation."""
+        out = bytearray(MAGIC)
+        out += struct.pack("<QII", self.entry, len(self.sections), len(self.symbols))
+        for sec in self.sections:
+            name = sec.name.encode()
+            flags = (1 if sec.writable else 0) | (2 if sec.executable else 0)
+            out += struct.pack("<HQIB", len(name), sec.addr, len(sec.data), flags)
+            out += name
+            out += sec.data
+        for name, addr in sorted(self.symbols.items()):
+            encoded = name.encode()
+            out += struct.pack("<HQ", len(encoded), addr)
+            out += encoded
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BinaryImage":
+        """Parse an NFLF image from bytes."""
+        if blob[: len(MAGIC)] != MAGIC:
+            raise BinaryFormatError("bad magic")
+        off = len(MAGIC)
+        try:
+            entry, n_sections, n_symbols = struct.unpack_from("<QII", blob, off)
+            off += 16
+            sections: List[Section] = []
+            for _ in range(n_sections):
+                name_len, addr, size, flags = struct.unpack_from("<HQIB", blob, off)
+                off += 15
+                name = blob[off : off + name_len].decode()
+                off += name_len
+                data = blob[off : off + size]
+                if len(data) != size:
+                    raise BinaryFormatError("truncated section data")
+                off += size
+                sections.append(
+                    Section(
+                        name=name,
+                        addr=addr,
+                        data=data,
+                        writable=bool(flags & 1),
+                        executable=bool(flags & 2),
+                    )
+                )
+            symbols: Dict[str, int] = {}
+            for _ in range(n_symbols):
+                name_len, addr = struct.unpack_from("<HQ", blob, off)
+                off += 10
+                symbols[blob[off : off + name_len].decode()] = addr
+                off += name_len
+        except struct.error as exc:
+            raise BinaryFormatError(f"truncated image: {exc}") from None
+        return cls(sections=sections, symbols=symbols, entry=entry)
+
+
+def make_image(
+    text: bytes,
+    data: bytes = b"",
+    entry: Optional[int] = None,
+    symbols: Optional[Dict[str, int]] = None,
+    text_base: int = TEXT_BASE,
+    data_base: int = DATA_BASE,
+) -> BinaryImage:
+    """Convenience constructor used by tests and the linker."""
+    sections = [Section(".text", text_base, text, writable=False, executable=True)]
+    data_with_scratch = data + b"\x00" * SCRATCH_SIZE
+    sections.append(Section(".data", data_base, data_with_scratch, writable=True, executable=False))
+    image = BinaryImage(
+        sections=sections,
+        symbols=dict(symbols or {}),
+        entry=entry if entry is not None else text_base,
+    )
+    image.symbols.setdefault("__scratch", data_base + len(data))
+    return image

@@ -1,0 +1,185 @@
+"""Command-line interface: the tools a release would ship.
+
+::
+
+    nfl cc prog.mc -o prog.nflf [--obfuscate llvm_obf] [--seed 7]
+    nfl run prog.nflf [--step-limit N]
+    nfl disasm prog.nflf [--start ADDR] [--count N]
+    nfl gadgets prog.nflf [--types]
+    nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--max-plans N]
+    nfl study prog.mc [--configs none,llvm_obf,...]
+
+Every subcommand works on NFLF images produced by ``nfl cc`` (or by
+:func:`repro.obfuscation.build_program` programmatically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .binfmt.image import BinaryImage
+from .emulator.cpu import run_image
+from .gadgets.classify import count_by_type, scan_syntactic_gadgets
+from .gadgets.extract import ExtractionConfig
+from .isa.disassembler import disassemble_lines
+from .obfuscation.pipeline import CONFIGS, NONE, build_program
+from .planner import (
+    GadgetPlanner,
+    PlannerConfig,
+    execve_goal,
+    mmap_goal,
+    mprotect_goal,
+    standard_goals,
+)
+
+
+def _load_image(path: str) -> BinaryImage:
+    return BinaryImage.from_bytes(Path(path).read_bytes())
+
+
+def cmd_cc(args: argparse.Namespace) -> int:
+    source = Path(args.source).read_text()
+    config = CONFIGS[args.obfuscate]
+    linked = build_program(source, config, seed=args.seed)
+    out = args.output or (Path(args.source).stem + ".nflf")
+    Path(out).write_bytes(linked.image.to_bytes())
+    print(f"wrote {out}: {len(linked.image.text.data)} bytes of text, config={config.name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    image = _load_image(args.binary)
+    status, stdout = run_image(image, step_limit=args.step_limit)
+    sys.stdout.write(stdout.decode(errors="replace"))
+    return status
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    image = _load_image(args.binary)
+    start = int(args.start, 0) if args.start else image.text.addr
+    offset = start - image.text.addr
+    count = 0
+    for addr, text in disassemble_lines(image.text.data[offset:], base_addr=start):
+        print(f"{addr:#010x}:  {text}")
+        count += 1
+        if args.count and count >= args.count:
+            break
+    return 0
+
+
+def cmd_gadgets(args: argparse.Namespace) -> int:
+    image = _load_image(args.binary)
+    gadgets = scan_syntactic_gadgets(image, max_insns=args.max_insns)
+    print(f"{len(gadgets)} syntactic gadgets")
+    if args.types:
+        for kind, count in sorted(count_by_type(gadgets).items(), key=lambda kv: -kv[1]):
+            print(f"  {kind.value.upper():<5} {count}")
+    if args.list:
+        for g in gadgets[: args.list]:
+            print(f"  {g.addr:#x}: " + "; ".join(str(i) for i in g.insns))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    image = _load_image(args.binary)
+    if args.goal == "all":
+        goals = standard_goals(image)
+    else:
+        goals = {
+            "execve": [execve_goal()],
+            "mprotect": [mprotect_goal(addr=image.data.addr & ~0xFFF, length=7)],
+            "mmap": [mmap_goal(length=7)],
+        }[args.goal]
+    planner = GadgetPlanner(
+        image,
+        extraction=ExtractionConfig(max_insns=args.max_insns),
+        planner=PlannerConfig(max_plans=args.max_plans),
+    )
+    report = planner.run(goals=goals)
+    t = report.timings
+    print(
+        f"gadgets: {report.gadgets_total} extracted, "
+        f"{report.gadgets_after_subsumption} after subsumption "
+        f"(extraction {t.extraction:.1f}s, subsumption {t.subsumption:.1f}s, "
+        f"planning {t.planning:.1f}s)"
+    )
+    print(f"validated payloads: {report.per_goal}")
+    for payload in report.payloads:
+        print()
+        print(payload.describe())
+    return 0 if report.total_payloads else 1
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    source = Path(args.source).read_text()
+    configs = args.configs.split(",")
+    header = f"{'config':<20}{'text':>8}{'gadgets':>9}{'payloads':>10}"
+    print(header)
+    print("-" * len(header))
+    for name in configs:
+        linked = build_program(source, CONFIGS[name], seed=args.seed)
+        gadget_count = len(scan_syntactic_gadgets(linked.image))
+        planner = GadgetPlanner(linked.image, planner=PlannerConfig(max_plans=args.max_plans))
+        payloads = planner.run().total_payloads
+        print(f"{name:<20}{len(linked.image.text.data):>8}{gadget_count:>9}{payloads:>10}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nfl",
+        description="Gadget-Planner toolchain (No Free Lunch, DSN'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cc", help="compile MC source to an NFLF binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.add_argument("--obfuscate", default="none", choices=sorted(CONFIGS))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_cc)
+
+    p = sub.add_parser("run", help="execute an NFLF binary in the emulator")
+    p.add_argument("binary")
+    p.add_argument("--step-limit", type=int, default=50_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble the text section")
+    p.add_argument("binary")
+    p.add_argument("--start")
+    p.add_argument("--count", type=int, default=0)
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("gadgets", help="syntactic gadget census (Fig. 1 view)")
+    p.add_argument("binary")
+    p.add_argument("--types", action="store_true", help="break down by Table I type")
+    p.add_argument("--list", type=int, default=0, help="print the first N gadgets")
+    p.add_argument("--max-insns", type=int, default=8)
+    p.set_defaults(func=cmd_gadgets)
+
+    p = sub.add_parser("plan", help="run Gadget-Planner against a binary")
+    p.add_argument("binary")
+    p.add_argument("--goal", default="all", choices=["all", "execve", "mprotect", "mmap"])
+    p.add_argument("--max-plans", type=int, default=8)
+    p.add_argument("--max-insns", type=int, default=12)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("study", help="per-config attack-surface study of one program")
+    p.add_argument("source")
+    p.add_argument("--configs", default="none,llvm_obf,tigress")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--max-plans", type=int, default=6)
+    p.set_defaults(func=cmd_study)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""Code generation: IR → NFL assembly text.
+
+The generator is deliberately an -O0 style one: every temporary lives
+in a stack slot, instructions load operands into scratch registers,
+compute, and store back.  This mirrors how the paper's benchmarks are
+built (unoptimized C via the obfuscators' default pipelines) and keeps
+the machine code rich in the memory/stack idioms gadget tools scan for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..isa.registers import ARG_REGS
+from .ir import (
+    AddrOfGlobal,
+    AddrOfLocal,
+    BinOp,
+    Block,
+    Branch,
+    CallInstr,
+    CmpSet,
+    Const,
+    Copy,
+    IRFunction,
+    IRModule,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    Temp,
+    UnOp,
+    Value,
+)
+
+_CMP_TO_JCC = {
+    "eq": "je",
+    "ne": "jne",
+    "ult": "jb",
+    "ule": "jbe",
+    "ugt": "ja",
+    "uge": "jae",
+    "slt": "jl",
+    "sle": "jle",
+    "sgt": "jg",
+    "sge": "jge",
+}
+
+_SIMPLE_BINOPS = {
+    "add": "add",
+    "sub": "sub",
+    "and": "and",
+    "or": "or",
+    "xor": "xor",
+    "mul": "mul",
+    "udiv": "udiv",
+    "umod": "umod",
+}
+
+_SHIFT_OPS = {"shl", "shr", "sar"}
+
+
+class CodegenError(ValueError):
+    pass
+
+
+def fn_label(name: str) -> str:
+    return f"fn_{name}"
+
+
+@dataclass
+class FunctionCodegen:
+    fn: IRFunction
+    lines: List[str] = field(default_factory=list)
+    slots: Dict[str, int] = field(default_factory=dict)  # temp name → rbp offset
+    array_offsets: Dict[str, int] = field(default_factory=dict)
+    frame_size: int = 0
+    _label_counter: int = 0
+
+    def _local_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L_{self.fn.name}_{hint}_{self._label_counter}"
+
+    def _block_label(self, block_label: str) -> str:
+        return f".L_{self.fn.name}__{block_label}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    # -- frame layout -----------------------------------------------------
+
+    def _layout_frame(self) -> None:
+        offset = 0
+        for temp in self.fn.temps():
+            offset += 8
+            self.slots[temp.name] = offset
+        for name, size in self.fn.local_arrays.items():
+            aligned = (size + 7) & ~7
+            offset += aligned
+            self.array_offsets[name] = offset
+        self.frame_size = (offset + 15) & ~15  # keep rsp 16-ish aligned
+
+    def _slot(self, temp: Temp) -> int:
+        try:
+            return self.slots[temp.name]
+        except KeyError:  # pragma: no cover - temps() collects everything
+            raise CodegenError(f"temp {temp} has no slot")
+
+    # -- operand helpers -----------------------------------------------------
+
+    def _load_into(self, reg: str, value: Value) -> None:
+        if isinstance(value, Const):
+            self.emit(f"mov {reg}, {value.value & ((1 << 64) - 1)}")
+        else:
+            self.emit(f"mov {reg}, [rbp-{self._slot(value)}]")
+
+    def _store_from(self, reg: str, temp: Temp) -> None:
+        self.emit(f"mov [rbp-{self._slot(temp)}], {reg}")
+
+    # -- main ----------------------------------------------------------------
+
+    def generate(self) -> List[str]:
+        self._layout_frame()
+        self.emit_label(fn_label(self.fn.name))
+        self.emit("push rbp")
+        self.emit("mov rbp, rsp")
+        if self.frame_size:
+            self.emit(f"sub rsp, {self.frame_size}")
+        for i, param in enumerate(self.fn.params):
+            if i >= len(ARG_REGS):
+                raise CodegenError("more than 6 parameters are unsupported")
+            self.emit(f"mov [rbp-{self.slots[param]}], {ARG_REGS[i]}")
+        for block in self.fn.block_order():
+            self._gen_block(block)
+        self.emit_label(self._epilogue_label())
+        # `add rsp, N; pop rbp; ret` rather than `leave; ret`: the same
+        # frame teardown real compilers emit, and — as on x86 — the form
+        # whose tail keeps unaligned decodes usable as gadgets (leave's
+        # rsp←rbp pivot makes every window crossing it stack-unsound).
+        if self.frame_size:
+            self.emit(f"add rsp, {self.frame_size}")
+        self.emit("pop rbp")
+        self.emit("ret")
+        return self.lines
+
+    def _epilogue_label(self) -> str:
+        return f".L_{self.fn.name}__epilogue"
+
+    def _gen_block(self, block: Block) -> None:
+        self.emit_label(self._block_label(block.label))
+        for instr in block.instrs:
+            self._gen_instr(instr)
+        self._gen_terminator(block)
+
+    # -- instructions ------------------------------------------------------------
+
+    def _gen_instr(self, instr) -> None:
+        if isinstance(instr, Copy):
+            self._load_into("rax", instr.src)
+            self._store_from("rax", instr.dst)
+        elif isinstance(instr, BinOp):
+            self._gen_binop(instr)
+        elif isinstance(instr, UnOp):
+            self._load_into("rax", instr.src)
+            self.emit("not rax" if instr.op == "not" else "neg rax")
+            self._store_from("rax", instr.dst)
+        elif isinstance(instr, CmpSet):
+            self._load_into("rax", instr.lhs)
+            self._load_into("rcx", instr.rhs)
+            done = self._local_label("setcc")
+            self.emit("cmp rax, rcx")
+            self.emit("mov rax, 1")
+            self.emit(f"{_CMP_TO_JCC[instr.op]} {done}")
+            self.emit("mov rax, 0")
+            self.emit_label(done)
+            self._store_from("rax", instr.dst)
+        elif isinstance(instr, Load):
+            self._load_into("rax", instr.addr)
+            if instr.width == 8:
+                self.emit("mov rcx, [rax]")
+            else:
+                self.emit("movzxb rcx, [rax]")
+            self._store_from("rcx", instr.dst)
+        elif isinstance(instr, Store):
+            self._load_into("rax", instr.addr)
+            self._load_into("rcx", instr.src)
+            if instr.width == 8:
+                self.emit("mov [rax], rcx")
+            else:
+                self.emit("movb [rax], rcx")
+        elif isinstance(instr, AddrOfLocal):
+            offset = self.array_offsets[instr.local]
+            self.emit(f"lea rax, [rbp-{offset}]")
+            self._store_from("rax", instr.dst)
+        elif isinstance(instr, AddrOfGlobal):
+            self.emit(f"mov rax, {instr.symbol}")
+            self._store_from("rax", instr.dst)
+        elif isinstance(instr, CallInstr):
+            for i, arg in enumerate(instr.args):
+                self._load_into(str(ARG_REGS[i]), arg)
+            self.emit(f"call {fn_label(instr.func)}")
+            if instr.dst is not None:
+                self._store_from("rax", instr.dst)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled instr {instr!r}")
+
+    def _gen_binop(self, instr: BinOp) -> None:
+        if instr.op in _SHIFT_OPS:
+            self._gen_shift(instr)
+            return
+        mnemonic = _SIMPLE_BINOPS.get(instr.op)
+        if mnemonic is None:
+            raise CodegenError(f"unknown binop {instr.op!r}")
+        self._load_into("rax", instr.lhs)
+        self._load_into("rcx", instr.rhs)
+        self.emit(f"{mnemonic} rax, rcx")
+        self._store_from("rax", instr.dst)
+
+    def _gen_shift(self, instr: BinOp) -> None:
+        mnemonic = instr.op
+        if isinstance(instr.rhs, Const):
+            self._load_into("rax", instr.lhs)
+            self.emit(f"{mnemonic} rax, {instr.rhs.value & 0x3F}")
+            self._store_from("rax", instr.dst)
+            return
+        # Variable shift: the ISA only has immediate shifts, so emit a
+        # count-down loop (one more realistic source of branches).
+        head = self._local_label("shift_head")
+        done = self._local_label("shift_done")
+        self._load_into("rax", instr.lhs)
+        self._load_into("rcx", instr.rhs)
+        self.emit("and rcx, 63")
+        self.emit_label(head)
+        self.emit("cmp rcx, 0")
+        self.emit(f"je {done}")
+        self.emit(f"{mnemonic} rax, 1")
+        self.emit("dec rcx")
+        self.emit(f"jmp {head}")
+        self.emit_label(done)
+        self._store_from("rax", instr.dst)
+
+    def _gen_terminator(self, block: Block) -> None:
+        t = block.terminator
+        if isinstance(t, Jump):
+            self.emit(f"jmp {self._block_label(t.target)}")
+        elif isinstance(t, Branch):
+            self._load_into("rax", t.lhs)
+            self._load_into("rcx", t.rhs)
+            self.emit("cmp rax, rcx")
+            self.emit(f"{_CMP_TO_JCC[t.op]} {self._block_label(t.then)}")
+            self.emit(f"jmp {self._block_label(t.els)}")
+        elif isinstance(t, Ret):
+            if t.value is not None:
+                self._load_into("rax", t.value)
+            else:
+                self.emit("mov rax, 0")
+            self.emit(f"jmp {self._epilogue_label()}")
+        else:  # pragma: no cover
+            raise AssertionError(f"block {block.label} missing terminator")
+
+
+RUNTIME_ASM = """
+_start:
+    call __libc_csu_init
+    call fn_main
+    mov rdi, rax
+    mov rax, 60
+    syscall
+    hlt
+
+; glibc-shaped csu init: walk __init_array (entry 0 holds the count)
+; and call each initializer with (argc, argv, envp)-style arguments.
+; The benchmark programs register no initializers, but the code runs on
+; every start — it is real code, with the classic register-restore tail
+; that makes ret2csu a staple of real-world exploitation.
+__libc_csu_init:
+    push rbx
+    push rbp
+    push r12
+    push r13
+    push r14
+    push r15
+    mov r12, 0              ; argc
+    mov r13, 0              ; argv
+    mov r14, 0              ; envp
+    mov rbx, __init_array
+    mov rbp, [rbx]          ; entry count
+    shl rbp, 3
+    add rbp, rbx            ; rbp = address of the last entry
+    add rbx, 8              ; first entry (slot 0 holds the count)
+.csu_loop:
+    cmp rbx, rbp
+    ja .csu_done
+    mov r15, [rbx]          ; initializer pointer
+    mov rdx, r14
+    mov rsi, r13
+    mov rdi, r12
+    call r15                ; the classic ret2csu dispatch shape
+    add rbx, 8
+    jmp .csu_loop
+.csu_done:
+    pop r15
+    pop r14
+    pop r13
+    pop r12
+    pop rbp
+    pop rbx
+    ret
+
+; syscall(nr, a, b, c): the libc raw syscall wrapper, with glibc's
+; exact argument shuffle (the 4th argument rides in rcx at the call
+; boundary and must move to rdx's successor position).
+fn_syscall:
+    mov rax, rdi
+    mov rdi, rsi
+    mov rsi, rdx
+    mov rdx, rcx
+    syscall
+    ret
+
+; print(value): unsigned decimal + newline to stdout.
+fn_print:
+    push rbp
+    mov rbp, rsp
+    sub rsp, 48
+    mov rax, rdi          ; value
+    lea rsi, [rbp-48]     ; buffer cursor grows backwards from end
+    add rsi, 47
+    mov rcx, 10
+    movb [rsi], rcx       ; newline (10) at the end
+    mov rdx, 1            ; length
+.print_loop:
+    mov rbx, rax
+    umod rbx, rcx         ; digit = value % 10
+    add rbx, 48
+    sub rsi, 1
+    movb [rsi], rbx
+    add rdx, 1
+    udiv rax, rcx
+    cmp rax, 0
+    jne .print_loop
+    mov rax, 1            ; write
+    mov rdi, 1
+    syscall
+    add rsp, 48
+    pop rbp
+    ret
+
+; print_str(ptr): NUL-terminated string to stdout.
+fn_print_str:
+    push rbp
+    mov rbp, rsp
+    mov rsi, rdi
+    mov rdx, 0
+.strlen_loop:
+    mov rax, rsi
+    add rax, rdx
+    movzxb rcx, [rax]
+    cmp rcx, 0
+    je .strlen_done
+    add rdx, 1
+    jmp .strlen_loop
+.strlen_done:
+    mov rax, 1
+    mov rdi, 1
+    syscall
+    pop rbp
+    ret
+
+; print_char(c): one byte to stdout.
+fn_print_char:
+    push rbp
+    mov rbp, rsp
+    sub rsp, 16
+    movb [rbp-8], rdi
+    mov rax, 1
+    mov rdi, 1
+    lea rsi, [rbp-8]
+    mov rdx, 1
+    syscall
+    add rsp, 16
+    pop rbp
+    ret
+
+; exit(code)
+fn_exit:
+    mov rax, 60
+    syscall
+    hlt
+"""
+
+
+def generate_module_asm(module: IRModule) -> str:
+    """Generate the complete .text assembly for a module (plus runtime)."""
+    chunks: List[str] = [RUNTIME_ASM]
+    for fn in module.functions.values():
+        chunks.append("\n".join(FunctionCodegen(fn).generate()))
+    return "\n".join(chunks)

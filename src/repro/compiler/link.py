@@ -1,0 +1,68 @@
+"""Linking: module assembly + data layout → a loadable BinaryImage."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..binfmt.image import BinaryImage, DATA_BASE, TEXT_BASE, make_image
+from ..isa.assembler import assemble_unit
+from .codegen import generate_module_asm
+from .ir import IRModule
+
+
+@dataclass
+class LinkedProgram:
+    """A linked executable plus the maps tests and attacks need."""
+
+    image: BinaryImage
+    text_asm: str
+    data_symbols: Dict[str, int]
+
+    def symbol(self, name: str) -> int:
+        return self.image.symbol(name)
+
+
+def layout_data(module: IRModule, data_base: int = DATA_BASE) -> tuple[bytes, Dict[str, int]]:
+    """Assign addresses to globals and interned strings; build .data."""
+    symbols: Dict[str, int] = {}
+    blob = bytearray()
+
+    def align8() -> None:
+        while len(blob) % 8:
+            blob.append(0)
+
+    for name, size in module.global_vars.items():
+        align8()
+        symbols[name] = data_base + len(blob)
+        init = module.global_inits.get(name)
+        if init is not None and size == 8:
+            blob += struct.pack("<Q", init & ((1 << 64) - 1))
+        else:
+            blob += b"\x00" * size
+    for name, data in module.global_data.items():
+        align8()
+        symbols[name] = data_base + len(blob)
+        blob += data
+    for label, data in module.string_pool.items():
+        symbols[label] = data_base + len(blob)
+        blob += data
+    return bytes(blob), symbols
+
+
+def link_module(module: IRModule, *, entry_symbol: str = "_start") -> LinkedProgram:
+    """Assemble a module's code and data into an executable image."""
+    # The runtime's csu walks __init_array; entry 0 is the count (0).
+    module.global_vars.setdefault("__init_array", 16)
+    data_blob, data_symbols = layout_data(module)
+    asm = generate_module_asm(module)
+    unit = assemble_unit(asm, base_addr=TEXT_BASE, extra_labels=data_symbols)
+    symbols = dict(unit.labels)
+    image = make_image(
+        unit.code,
+        data=data_blob,
+        entry=symbols[entry_symbol],
+        symbols=symbols,
+    )
+    return LinkedProgram(image=image, text_asm=asm, data_symbols=data_symbols)

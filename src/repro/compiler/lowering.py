@@ -1,0 +1,463 @@
+"""Lowering from the MC AST to the three-address IR.
+
+Semantics notes (documented deviations from full C, all deliberate):
+
+* the only scalar type is a 64-bit unsigned word; ``u8`` matters only
+  behind pointers/arrays, where indexing loads/stores single bytes;
+* ``p[i]`` scales by the element size (8 for ``u64*``, 1 for ``u8*``);
+  raw pointer arithmetic ``p + n`` is *byte*-granular;
+* ``&x`` is allowed on arrays and globals (things with addresses) —
+  scalar locals live in virtual registers and have none;
+* division is unsigned; comparison operators are unsigned unless they
+  appear via the signed helpers (not exposed in MC — benchmarks use
+  unsigned logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast as A
+from .ir import (
+    AddrOfGlobal,
+    AddrOfLocal,
+    BinOp,
+    Block,
+    Branch,
+    CallInstr,
+    CmpSet,
+    Const,
+    Copy,
+    IRFunction,
+    IRModule,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    Temp,
+    UnOp,
+    Value,
+    negate_cmp,
+)
+
+#: Functions provided by the runtime, not defined in MC source.
+BUILTINS = {"print", "print_str", "print_char", "exit", "syscall"}
+
+_BIN_OP_MAP = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "udiv",
+    "%": "umod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+}
+
+_CMP_OP_MAP = {
+    "==": "eq",
+    "!=": "ne",
+    "<": "ult",
+    "<=": "ule",
+    ">": "ugt",
+    ">=": "uge",
+}
+
+
+class LoweringError(ValueError):
+    """A semantic error found while lowering."""
+
+
+@dataclass
+class _Binding:
+    kind: str  # "temp" | "array" | "global" | "global_array"
+    type: A.Type
+    temp: Optional[Temp] = None
+    symbol: Optional[str] = None
+
+
+def _sizeof(ty: A.Type) -> int:
+    if ty.kind == "array":
+        return _sizeof_elem(ty.elem) * ty.count
+    return 8
+
+
+def _sizeof_elem(ty: A.Type) -> int:
+    return 1 if ty.kind == "u8" else 8
+
+
+class FunctionLowerer:
+    def __init__(self, module: IRModule, program: A.Program, func: A.Function):
+        self.module = module
+        self.program = program
+        self.ast_func = func
+        self.fn = IRFunction(name=func.name, params=[p.name for p in func.params])
+        self.scopes: List[Dict[str, _Binding]] = []
+        self.current: Block = self.fn.add_block("entry")
+        self.loop_stack: List[Tuple[str, str]] = []  # (continue label, break label)
+        self._globals: Dict[str, A.GlobalVar] = {g.name: g for g in program.globals}
+
+    # -- block plumbing --------------------------------------------------------
+
+    def _start_block(self, label: str) -> Block:
+        block = self.fn.add_block(label)
+        self.current = block
+        return block
+
+    def _terminate(self, terminator) -> None:
+        if self.current.terminator is None:
+            self.current.terminator = terminator
+
+    def _emit(self, instr) -> None:
+        if self.current.terminator is None:
+            self.current.instrs.append(instr)
+
+    # -- scope -----------------------------------------------------------------
+
+    def _push_scope(self) -> None:
+        self.scopes.append({})
+
+    def _pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def _declare(self, name: str, binding: _Binding) -> None:
+        if name in self.scopes[-1]:
+            raise LoweringError(f"redeclaration of {name!r} in {self.fn.name}")
+        self.scopes[-1][name] = binding
+
+    def _lookup(self, name: str) -> _Binding:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        g = self._globals.get(name)
+        if g is not None:
+            kind = "global_array" if g.type.kind == "array" else "global"
+            return _Binding(kind=kind, type=g.type, symbol=name)
+        raise LoweringError(f"undefined variable {name!r} in {self.fn.name}")
+
+    # -- entry point ------------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        self._push_scope()
+        for param in self.ast_func.params:
+            self._declare(param.name, _Binding(kind="temp", type=param.type, temp=Temp(param.name)))
+        self._lower_stmts(self.ast_func.body)
+        self._terminate(Ret(Const(0)))
+        self._pop_scope()
+        # Give every block a terminator (empty fall-off → ret 0).
+        for block in self.fn.blocks.values():
+            if block.terminator is None:
+                block.terminator = Ret(Const(0))
+        return self.fn
+
+    # -- statements ----------------------------------------------------------------
+
+    def _lower_stmts(self, stmts) -> None:
+        self._push_scope()
+        for stmt in stmts:
+            self._lower_stmt(stmt)
+        self._pop_scope()
+
+    def _lower_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Decl):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, A.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, A.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, A.Return):
+            value, _ = self._lower_expr(stmt.value) if stmt.value else (Const(0), A.U64)
+            self._terminate(Ret(value))
+        elif isinstance(stmt, A.Break):
+            if not self.loop_stack:
+                raise LoweringError("break outside a loop")
+            self._terminate(Jump(self.loop_stack[-1][1]))
+        elif isinstance(stmt, A.Continue):
+            if not self.loop_stack:
+                raise LoweringError("continue outside a loop")
+            self._terminate(Jump(self.loop_stack[-1][0]))
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled stmt {stmt!r}")
+
+    def _lower_decl(self, decl: A.Decl) -> None:
+        if decl.type.kind == "array":
+            local_name = f"{decl.name}.{len(self.fn.local_arrays)}"
+            self.fn.local_arrays[local_name] = _sizeof(decl.type)
+            self._declare(decl.name, _Binding(kind="array", type=decl.type, symbol=local_name))
+            if decl.init is not None:
+                raise LoweringError("array initializers are not supported")
+            return
+        temp = self.fn.new_temp(decl.name)
+        self._declare(decl.name, _Binding(kind="temp", type=decl.type, temp=temp))
+        if decl.init is not None:
+            value, _ = self._lower_expr(decl.init)
+            self._emit(Copy(temp, value))
+        else:
+            self._emit(Copy(temp, Const(0)))
+
+    def _lower_if(self, stmt: A.If) -> None:
+        then_label = self.fn.new_label("then")
+        else_label = self.fn.new_label("else") if stmt.otherwise else None
+        join_label = self.fn.new_label("join")
+        self._lower_condition(stmt.cond, then_label, else_label or join_label)
+        self._start_block(then_label)
+        self._lower_stmts(stmt.then)
+        self._terminate(Jump(join_label))
+        if else_label:
+            self._start_block(else_label)
+            self._lower_stmts(stmt.otherwise)
+            self._terminate(Jump(join_label))
+        self._start_block(join_label)
+
+    def _lower_while(self, stmt: A.While) -> None:
+        head = self.fn.new_label("while_head")
+        body = self.fn.new_label("while_body")
+        exit_label = self.fn.new_label("while_exit")
+        self._terminate(Jump(head))
+        self._start_block(head)
+        self._lower_condition(stmt.cond, body, exit_label)
+        self._start_block(body)
+        self.loop_stack.append((head, exit_label))
+        self._lower_stmts(stmt.body)
+        self.loop_stack.pop()
+        self._terminate(Jump(head))
+        self._start_block(exit_label)
+
+    def _lower_for(self, stmt: A.For) -> None:
+        head = self.fn.new_label("for_head")
+        body = self.fn.new_label("for_body")
+        step = self.fn.new_label("for_step")
+        exit_label = self.fn.new_label("for_exit")
+        self._push_scope()
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        self._terminate(Jump(head))
+        self._start_block(head)
+        if stmt.cond is not None:
+            self._lower_condition(stmt.cond, body, exit_label)
+        else:
+            self._terminate(Jump(body))
+        self._start_block(body)
+        self.loop_stack.append((step, exit_label))
+        self._lower_stmts(stmt.body)
+        self.loop_stack.pop()
+        self._terminate(Jump(step))
+        self._start_block(step)
+        if stmt.step is not None:
+            self._lower_expr(stmt.step)
+        self._terminate(Jump(head))
+        self._start_block(exit_label)
+
+    def _lower_condition(self, cond: A.Expr, true_label: str, false_label: str) -> None:
+        """Lower a condition with short-circuiting into branches."""
+        if isinstance(cond, A.Binary) and cond.op == "&&":
+            mid = self.fn.new_label("and_rhs")
+            self._lower_condition(cond.lhs, mid, false_label)
+            self._start_block(mid)
+            self._lower_condition(cond.rhs, true_label, false_label)
+            return
+        if isinstance(cond, A.Binary) and cond.op == "||":
+            mid = self.fn.new_label("or_rhs")
+            self._lower_condition(cond.lhs, true_label, mid)
+            self._start_block(mid)
+            self._lower_condition(cond.rhs, true_label, false_label)
+            return
+        if isinstance(cond, A.Unary) and cond.op == "!":
+            self._lower_condition(cond.operand, false_label, true_label)
+            return
+        if isinstance(cond, A.Binary) and cond.op in _CMP_OP_MAP:
+            lhs, _ = self._lower_expr(cond.lhs)
+            rhs, _ = self._lower_expr(cond.rhs)
+            self._terminate(Branch(_CMP_OP_MAP[cond.op], lhs, rhs, true_label, false_label))
+            return
+        value, _ = self._lower_expr(cond)
+        self._terminate(Branch("ne", value, Const(0), true_label, false_label))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _lower_expr(self, expr: A.Expr) -> Tuple[Value, A.Type]:
+        if isinstance(expr, A.IntLit):
+            return Const(expr.value), A.U64
+        if isinstance(expr, A.StrLit):
+            label = self.module.intern_string(expr.value + b"\x00")
+            dst = self.fn.new_temp("str")
+            self._emit(AddrOfGlobal(dst, label))
+            return dst, A.ptr_to(A.Type("u8"))
+        if isinstance(expr, A.Var):
+            return self._lower_var(expr)
+        if isinstance(expr, A.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, A.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, A.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, A.Call):
+            return self._lower_call(expr)
+        if isinstance(expr, A.Index):
+            addr, elem_ty = self._lower_index_addr(expr)
+            dst = self.fn.new_temp("ld")
+            self._emit(Load(dst, addr, width=_sizeof_elem(elem_ty)))
+            return dst, elem_ty
+        raise AssertionError(f"unhandled expr {expr!r}")  # pragma: no cover
+
+    def _lower_var(self, expr: A.Var) -> Tuple[Value, A.Type]:
+        binding = self._lookup(expr.name)
+        if binding.kind == "temp":
+            return binding.temp, binding.type
+        if binding.kind == "array":
+            dst = self.fn.new_temp("addr")
+            self._emit(AddrOfLocal(dst, binding.symbol))
+            return dst, A.ptr_to(binding.type.elem)
+        if binding.kind == "global_array":
+            dst = self.fn.new_temp("addr")
+            self._emit(AddrOfGlobal(dst, binding.symbol))
+            return dst, A.ptr_to(binding.type.elem)
+        # global scalar: load its word
+        addr = self.fn.new_temp("gaddr")
+        self._emit(AddrOfGlobal(addr, binding.symbol))
+        dst = self.fn.new_temp("gval")
+        self._emit(Load(dst, addr, width=8))
+        return dst, binding.type
+
+    def _lower_assign(self, expr: A.Assign) -> Tuple[Value, A.Type]:
+        value, value_ty = self._lower_expr(expr.value)
+        target = expr.target
+        if isinstance(target, A.Var):
+            binding = self._lookup(target.name)
+            if binding.kind == "temp":
+                self._emit(Copy(binding.temp, value))
+                return binding.temp, binding.type
+            if binding.kind == "global":
+                addr = self.fn.new_temp("gaddr")
+                self._emit(AddrOfGlobal(addr, binding.symbol))
+                self._emit(Store(addr, value, width=8))
+                return value, binding.type
+            raise LoweringError(f"cannot assign to array {target.name!r}")
+        if isinstance(target, A.Unary) and target.op == "*":
+            addr, ptr_ty = self._lower_expr(target.operand)
+            if not ptr_ty.is_pointer:
+                raise LoweringError("dereferencing a non-pointer")
+            self._emit(Store(addr, value, width=_sizeof_elem(ptr_ty.elem)))
+            return value, ptr_ty.elem
+        if isinstance(target, A.Index):
+            addr, elem_ty = self._lower_index_addr(target)
+            self._emit(Store(addr, value, width=_sizeof_elem(elem_ty)))
+            return value, elem_ty
+        raise LoweringError(f"invalid assignment target {target!r}")
+
+    def _lower_index_addr(self, expr: A.Index) -> Tuple[Value, A.Type]:
+        base, base_ty = self._lower_expr(expr.base)
+        if not base_ty.is_pointer:
+            raise LoweringError("indexing a non-pointer")
+        index, _ = self._lower_expr(expr.index)
+        elem = base_ty.elem
+        scale = _sizeof_elem(elem)
+        if scale != 1:
+            scaled = self.fn.new_temp("idx")
+            self._emit(BinOp(scaled, "mul", index, Const(scale)))
+            index = scaled
+        addr = self.fn.new_temp("ea")
+        self._emit(BinOp(addr, "add", base, index))
+        return addr, elem
+
+    def _lower_binary(self, expr: A.Binary) -> Tuple[Value, A.Type]:
+        if expr.op in ("&&", "||"):
+            # Value-position short circuit: materialize 0/1 via blocks.
+            result = self.fn.new_temp("bool")
+            true_label = self.fn.new_label("sc_true")
+            false_label = self.fn.new_label("sc_false")
+            join = self.fn.new_label("sc_join")
+            self._lower_condition(expr, true_label, false_label)
+            self._start_block(true_label)
+            self._emit(Copy(result, Const(1)))
+            self._terminate(Jump(join))
+            self._start_block(false_label)
+            self._emit(Copy(result, Const(0)))
+            self._terminate(Jump(join))
+            self._start_block(join)
+            return result, A.U64
+        lhs, lhs_ty = self._lower_expr(expr.lhs)
+        rhs, _ = self._lower_expr(expr.rhs)
+        if expr.op in _CMP_OP_MAP:
+            dst = self.fn.new_temp("cmp")
+            self._emit(CmpSet(dst, _CMP_OP_MAP[expr.op], lhs, rhs))
+            return dst, A.U64
+        op = _BIN_OP_MAP.get(expr.op)
+        if op is None:
+            raise LoweringError(f"unsupported operator {expr.op!r}")
+        dst = self.fn.new_temp("bin")
+        self._emit(BinOp(dst, op, lhs, rhs))
+        result_ty = lhs_ty if lhs_ty.is_pointer and expr.op in ("+", "-") else A.U64
+        return dst, result_ty
+
+    def _lower_unary(self, expr: A.Unary) -> Tuple[Value, A.Type]:
+        if expr.op == "*":
+            addr, ptr_ty = self._lower_expr(expr.operand)
+            if not ptr_ty.is_pointer:
+                raise LoweringError("dereferencing a non-pointer")
+            dst = self.fn.new_temp("deref")
+            self._emit(Load(dst, addr, width=_sizeof_elem(ptr_ty.elem)))
+            return dst, ptr_ty.elem
+        if expr.op == "&":
+            target = expr.operand
+            if isinstance(target, A.Var):
+                binding = self._lookup(target.name)
+                if binding.kind == "array":
+                    dst = self.fn.new_temp("addr")
+                    self._emit(AddrOfLocal(dst, binding.symbol))
+                    return dst, A.ptr_to(binding.type.elem)
+                if binding.kind in ("global", "global_array"):
+                    dst = self.fn.new_temp("addr")
+                    self._emit(AddrOfGlobal(dst, binding.symbol))
+                    elem = binding.type.elem if binding.type.kind == "array" else binding.type
+                    return dst, A.ptr_to(elem)
+                raise LoweringError("cannot take the address of a scalar local")
+            if isinstance(target, A.Index):
+                addr, elem_ty = self._lower_index_addr(target)
+                return addr, A.ptr_to(elem_ty)
+            raise LoweringError(f"cannot take the address of {target!r}")
+        operand, _ = self._lower_expr(expr.operand)
+        dst = self.fn.new_temp("un")
+        if expr.op == "-":
+            self._emit(UnOp(dst, "neg", operand))
+        elif expr.op == "~":
+            self._emit(UnOp(dst, "not", operand))
+        elif expr.op == "!":
+            self._emit(CmpSet(dst, "eq", operand, Const(0)))
+        else:  # pragma: no cover
+            raise AssertionError(expr.op)
+        return dst, A.U64
+
+    def _lower_call(self, expr: A.Call) -> Tuple[Value, A.Type]:
+        known = {f.name for f in self.program.functions} | BUILTINS
+        if expr.func not in known:
+            raise LoweringError(f"call to undefined function {expr.func!r}")
+        args = tuple(self._lower_expr(a)[0] for a in expr.args)
+        if len(args) > 6:
+            raise LoweringError("more than 6 arguments are not supported")
+        dst = self.fn.new_temp("ret")
+        self._emit(CallInstr(dst, expr.func, args))
+        return dst, A.U64
+
+
+def lower_program(program: A.Program) -> IRModule:
+    """Lower a parsed MC program into an IR module."""
+    module = IRModule()
+    for g in program.globals:
+        module.global_vars[g.name] = _sizeof(g.type)
+        if g.init is not None:
+            if not isinstance(g.init, A.IntLit):
+                raise LoweringError(f"global {g.name!r}: only integer initializers")
+            module.global_inits[g.name] = g.init.value
+    for func in program.functions:
+        module.functions[func.name] = FunctionLowerer(module, program, func).lower()
+    if "main" not in module.functions:
+        raise LoweringError("program has no main()")
+    return module

@@ -1,0 +1,172 @@
+"""Paged sparse memory with permissions for the concrete emulator."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+PAGE_SIZE = 0x1000
+PAGE_MASK = ~(PAGE_SIZE - 1)
+
+PERM_R = 1
+PERM_W = 2
+PERM_X = 4
+
+
+class MemoryFault(Exception):
+    """A memory access violation (unmapped or permission mismatch)."""
+
+    def __init__(self, addr: int, kind: str):
+        super().__init__(f"memory fault: {kind} at {addr:#x}")
+        self.addr = addr
+        self.kind = kind
+
+
+@dataclass
+class Region:
+    """A mapped region, for introspection via :meth:`Memory.mappings`."""
+
+    start: int
+    size: int
+    perms: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+class Memory:
+    """Sparse paged memory.
+
+    Pages are allocated lazily inside mapped regions.  Permissions are
+    tracked per page so that ``mprotect`` can flip individual pages —
+    the behaviour the mprotect attack goal depends on.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self._perms: Dict[int, int] = {}
+        self._regions: List[Region] = []
+        #: Bumped whenever a write lands in an executable page; the
+        #: emulator uses it to invalidate its decoded-instruction cache
+        #: (self-modifying code support).
+        self.exec_write_gen = 0
+
+    def map(self, start: int, size: int, perms: int) -> None:
+        """Map ``[start, start+size)`` with the given permissions."""
+        if size <= 0:
+            raise ValueError("mapping size must be positive")
+        first = start & PAGE_MASK
+        last = (start + size - 1) & PAGE_MASK
+        page = first
+        while page <= last:
+            self._perms[page] = perms
+            page += PAGE_SIZE
+        self._regions.append(Region(start=start, size=size, perms=perms))
+
+    def protect(self, start: int, size: int, perms: int) -> None:
+        """Change permissions on already-mapped pages (mprotect)."""
+        first = start & PAGE_MASK
+        last = (start + size - 1) & PAGE_MASK
+        page = first
+        while page <= last:
+            if page not in self._perms:
+                raise MemoryFault(page, "mprotect of unmapped page")
+            self._perms[page] = perms
+            page += PAGE_SIZE
+
+    def mappings(self) -> Tuple[Region, ...]:
+        return tuple(self._regions)
+
+    def is_mapped(self, addr: int) -> bool:
+        return (addr & PAGE_MASK) in self._perms
+
+    def perms_at(self, addr: int) -> int:
+        return self._perms.get(addr & PAGE_MASK, 0)
+
+    def _page_for(self, addr: int, needed: int, kind: str) -> bytearray:
+        page_addr = addr & PAGE_MASK
+        perms = self._perms.get(page_addr)
+        if perms is None:
+            raise MemoryFault(addr, f"{kind} of unmapped memory")
+        if perms & needed != needed:
+            raise MemoryFault(addr, f"{kind} permission denied")
+        page = self._pages.get(page_addr)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_addr] = page
+        return page
+
+    # -- byte-level primitives --------------------------------------------
+
+    def read(self, addr: int, size: int, *, execute: bool = False) -> bytes:
+        needed = PERM_X if execute else PERM_R
+        kind = "execute" if execute else "read"
+        out = bytearray()
+        remaining = size
+        cursor = addr
+        while remaining > 0:
+            page = self._page_for(cursor, needed, kind)
+            off = cursor & (PAGE_SIZE - 1)
+            take = min(remaining, PAGE_SIZE - off)
+            out += page[off : off + take]
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        remaining = len(data)
+        cursor = addr
+        src = 0
+        while remaining > 0:
+            page = self._page_for(cursor, PERM_W, "write")
+            if self._perms.get(cursor & PAGE_MASK, 0) & PERM_X:
+                self.exec_write_gen += 1
+            off = cursor & (PAGE_SIZE - 1)
+            take = min(remaining, PAGE_SIZE - off)
+            page[off : off + take] = data[src : src + take]
+            cursor += take
+            src += take
+            remaining -= take
+
+    def write_initial(self, addr: int, data: bytes) -> None:
+        """Populate memory ignoring the W permission (image loading)."""
+        remaining = len(data)
+        cursor = addr
+        src = 0
+        while remaining > 0:
+            page_addr = cursor & PAGE_MASK
+            if page_addr not in self._perms:
+                raise MemoryFault(cursor, "load into unmapped memory")
+            page = self._pages.setdefault(page_addr, bytearray(PAGE_SIZE))
+            off = cursor & (PAGE_SIZE - 1)
+            take = min(remaining, PAGE_SIZE - off)
+            page[off : off + take] = data[src : src + take]
+            cursor += take
+            src += take
+            remaining -= take
+
+    # -- typed accessors ----------------------------------------------------
+
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack("<Q", self.read(addr, 8))[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<Q", value & ((1 << 64) - 1)))
+
+    def read_u8(self, addr: int) -> int:
+        return self.read(addr, 1)[0]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self.write(addr, bytes([value & 0xFF]))
+
+    def read_cstring(self, addr: int, max_len: int = 4096) -> bytes:
+        """Read a NUL-terminated string (without the terminator)."""
+        out = bytearray()
+        for i in range(max_len):
+            b = self.read_u8(addr + i)
+            if b == 0:
+                return bytes(out)
+            out.append(b)
+        raise MemoryFault(addr, "unterminated string")

@@ -1,0 +1,129 @@
+"""Linux-flavoured syscall models for the NFL machine.
+
+Syscall numbers follow the x86-64 Linux ABI so the paper's attack goal
+states transfer verbatim (``rax = 59`` → ``execve``).  The three
+attack-relevant syscalls (``execve``, ``mprotect``, ``mmap``) are
+modelled as *events*: the emulator records them with their decoded
+arguments, and the exploit tests assert on the recorded event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .memory import Memory, MemoryFault, PERM_R, PERM_W, PERM_X
+
+
+class Sys(enum.IntEnum):
+    """Syscall numbers (x86-64 Linux subset)."""
+
+    READ = 0
+    WRITE = 1
+    MMAP = 9
+    MPROTECT = 10
+    MREMAP = 25
+    EXIT = 60
+    EXECVE = 59
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """A record of one attack-relevant syscall invocation."""
+
+    number: Sys
+    args: tuple
+    #: Decoded convenience fields:
+    path: Optional[bytes] = None  # execve path
+    addr: Optional[int] = None  # mprotect/mmap address
+    length: Optional[int] = None  # mprotect/mmap length
+    prot: Optional[int] = None  # protection bits
+
+    def is_shell_spawn(self, shell: bytes = b"/bin/sh") -> bool:
+        return self.number == Sys.EXECVE and self.path == shell
+
+
+class ProcessExit(Exception):
+    """Raised when the guest calls ``exit``."""
+
+    def __init__(self, status: int):
+        super().__init__(f"exit({status})")
+        self.status = status
+
+
+class AttackTriggered(Exception):
+    """Raised when an attack-goal syscall executes (stops the run)."""
+
+    def __init__(self, event: SyscallEvent):
+        super().__init__(f"attack syscall: {event.number.name}{event.args}")
+        self.event = event
+
+
+@dataclass
+class SyscallHandler:
+    """Dispatches syscalls against emulator memory.
+
+    ``stop_on_attack`` makes attack-goal syscalls raise
+    :class:`AttackTriggered`, which exploit-validation uses as its
+    success signal.
+    """
+
+    memory: Memory
+    stop_on_attack: bool = True
+    stdout: bytearray = field(default_factory=bytearray)
+    events: List[SyscallEvent] = field(default_factory=list)
+
+    def dispatch(self, number: int, args: tuple) -> int:
+        """Handle syscall ``number`` with up to six ``args``; returns rax."""
+        try:
+            sys_no = Sys(number)
+        except ValueError:
+            return -38 & ((1 << 64) - 1)  # -ENOSYS
+        if sys_no == Sys.WRITE:
+            return self._sys_write(args)
+        if sys_no == Sys.READ:
+            return 0  # EOF
+        if sys_no == Sys.EXIT:
+            raise ProcessExit(args[0] & 0xFF)
+        if sys_no == Sys.EXECVE:
+            return self._attack_event(self._decode_execve(args))
+        if sys_no == Sys.MPROTECT:
+            return self._attack_event(
+                SyscallEvent(Sys.MPROTECT, args[:3], addr=args[0], length=args[1], prot=args[2])
+            )
+        if sys_no in (Sys.MMAP, Sys.MREMAP):
+            return self._attack_event(
+                SyscallEvent(sys_no, args[:6], addr=args[0], length=args[1], prot=args[2])
+            )
+        raise AssertionError(f"unhandled syscall {sys_no}")  # pragma: no cover
+
+    def _sys_write(self, args: tuple) -> int:
+        _fd, buf, count = args[0], args[1], args[2]
+        try:
+            data = self.memory.read(buf, count)
+        except MemoryFault:
+            return -14 & ((1 << 64) - 1)  # -EFAULT
+        self.stdout += data
+        return count
+
+    def _decode_execve(self, args: tuple) -> SyscallEvent:
+        path_ptr = args[0]
+        try:
+            path = self.memory.read_cstring(path_ptr)
+        except MemoryFault:
+            path = None
+        return SyscallEvent(Sys.EXECVE, args[:3], path=path)
+
+    def _attack_event(self, event: SyscallEvent) -> int:
+        self.events.append(event)
+        if self.stop_on_attack:
+            raise AttackTriggered(event)
+        if event.number == Sys.MPROTECT and event.addr is not None:
+            # Model the real effect so follow-on shellcode jumps work.
+            try:
+                self.memory.protect(event.addr, event.length or 1, PERM_R | PERM_W | PERM_X)
+            except MemoryFault:
+                return -22 & ((1 << 64) - 1)  # -EINVAL
+            return 0
+        return 0

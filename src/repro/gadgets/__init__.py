@@ -1,0 +1,31 @@
+"""The gadget pipeline: extraction, records, classification, subsumption."""
+
+from .classify import (
+    SyntacticGadget,
+    classify_window,
+    count_by_type,
+    scan_syntactic_gadgets,
+    total_gadgets,
+)
+from .extract import ExtractionConfig, candidate_offsets, extract_gadgets, syntactic_scan
+from .record import GadgetRecord, JmpType, record_from_path
+from .subsumption import SubsumptionStats, deduplicate_gadgets, fingerprint, subsumes
+
+__all__ = [
+    "ExtractionConfig",
+    "GadgetRecord",
+    "JmpType",
+    "SubsumptionStats",
+    "SyntacticGadget",
+    "candidate_offsets",
+    "classify_window",
+    "count_by_type",
+    "deduplicate_gadgets",
+    "extract_gadgets",
+    "fingerprint",
+    "record_from_path",
+    "scan_syntactic_gadgets",
+    "subsumes",
+    "syntactic_scan",
+    "total_gadgets",
+]

@@ -1,0 +1,338 @@
+"""A small two-pass text assembler for the NFL machine.
+
+The assembler exists so that tests, examples and hand-written gadget
+snippets can be expressed readably::
+
+    from repro.isa.assembler import assemble
+
+    code = assemble('''
+        start:
+            mov rax, 59
+            pop rdi
+            cmp rdi, 0
+            jne start
+            syscall
+            ret
+    ''')
+
+Supported syntax (one statement per line, ``;`` or ``#`` comments):
+
+* ``label:`` definitions; labels may be used as jump/call targets and
+  as 64-bit immediates (``mov rax, label``).
+* every mnemonic in :mod:`repro.isa.instructions`; ``mov`` picks the
+  encoding from its operand shapes, ``mov32`` forces the 5-byte
+  sign-extended-immediate form.
+* memory operands ``[reg]``, ``[reg+imm]``, ``[reg-imm]``.
+* data directives: ``.quad v``, ``.byte v``, ``.asciz "s"``, ``.zero n``.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .encoding import encode
+from .instructions import Instruction, Op, OperandLayout, OP_TABLE
+from .registers import Reg, reg_by_name
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_MEM_RE = re.compile(r"^\[\s*([a-z0-9]+)\s*(?:([+-])\s*(\w+))?\s*\]$")
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+@dataclass
+class _MemOperand:
+    base: Reg
+    disp: int
+
+
+@dataclass
+class _Statement:
+    """A parsed source statement awaiting label resolution."""
+
+    line_no: int
+    mnemonic: str
+    operands: List[Union[Reg, int, str, _MemOperand]]
+    size: int
+    op: Optional[Op] = None
+    data: Optional[bytes] = None  # for directives
+
+
+@dataclass
+class AssembledUnit:
+    """The output of :func:`assemble_unit`: bytes plus symbol table."""
+
+    code: bytes
+    labels: Dict[str, int]
+    instructions: List[Instruction] = field(default_factory=list)
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer literal {token!r}", line_no) from None
+
+
+def _parse_operand(token: str, line_no: int) -> Union[Reg, int, str, _MemOperand]:
+    token = token.strip()
+    mem = _MEM_RE.match(token)
+    if mem:
+        base = reg_by_name(mem.group(1))
+        disp = 0
+        if mem.group(2):
+            disp = _parse_int(mem.group(3), line_no)
+            if mem.group(2) == "-":
+                disp = -disp
+        return _MemOperand(base=base, disp=disp)
+    try:
+        return reg_by_name(token)
+    except ValueError:
+        pass
+    try:
+        return int(token, 0)
+    except ValueError:
+        return token  # a label reference
+
+
+def _split_operands(rest: str) -> List[str]:
+    if not rest.strip():
+        return []
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    parts.append(current)
+    return [p.strip() for p in parts]
+
+
+# Mnemonics that map to a single opcode regardless of operand shapes.
+_SIMPLE_MNEMONICS: Dict[str, Op] = {}
+for _op, _inf in OP_TABLE.items():
+    _SIMPLE_MNEMONICS.setdefault(_inf.mnemonic, _op)
+# 'mov', 'jmp', 'call', 'push' are shape-dispatched; remove ambiguity markers.
+for _amb in ("mov", "jmp", "call", "push"):
+    _SIMPLE_MNEMONICS.pop(_amb, None)
+# The canonical pop encoding is the one-byte form.
+_SIMPLE_MNEMONICS["pop"] = Op.POP1
+
+_RR_OPS = {
+    "add": (Op.ADD_RR, Op.ADD_RI),
+    "sub": (Op.SUB_RR, Op.SUB_RI),
+    "and": (Op.AND_RR, Op.AND_RI),
+    "or": (Op.OR_RR, Op.OR_RI),
+    "xor": (Op.XOR_RR, Op.XOR_RI),
+    "cmp": (Op.CMP_RR, Op.CMP_RI),
+    "test": (Op.TEST_RR, Op.TEST_RI),
+}
+
+
+def _select_op(mnemonic: str, operands: List, line_no: int) -> Op:
+    """Pick the opcode for a mnemonic based on its operand shapes."""
+    def is_reg(x) -> bool:
+        return isinstance(x, Reg)
+
+    def is_mem(x) -> bool:
+        return isinstance(x, _MemOperand)
+
+    def is_immish(x) -> bool:
+        return isinstance(x, (int, str))
+
+    if mnemonic == "mov":
+        if len(operands) != 2:
+            raise AssemblyError("mov takes two operands", line_no)
+        a, b = operands
+        if is_reg(a) and is_reg(b):
+            return Op.MOV_RR
+        if is_reg(a) and is_immish(b):
+            return Op.MOV_RI
+        if is_reg(a) and is_mem(b):
+            return Op.LOAD
+        if is_mem(a) and is_reg(b):
+            return Op.STORE
+        raise AssemblyError("unsupported mov operand combination", line_no)
+    if mnemonic == "mov32":
+        return Op.MOV_RI32
+    if mnemonic == "jmp":
+        (a,) = operands if len(operands) == 1 else (None,)
+        if a is None:
+            raise AssemblyError("jmp takes one operand", line_no)
+        if is_reg(a):
+            return Op.JMP_R
+        if is_mem(a):
+            return Op.JMP_M
+        return Op.JMP_REL
+    if mnemonic == "call":
+        (a,) = operands if len(operands) == 1 else (None,)
+        if a is None:
+            raise AssemblyError("call takes one operand", line_no)
+        return Op.CALL_R if is_reg(a) else Op.CALL_REL
+    if mnemonic == "push":
+        (a,) = operands if len(operands) == 1 else (None,)
+        if a is None:
+            raise AssemblyError("push takes one operand", line_no)
+        return Op.PUSH_R if is_reg(a) else Op.PUSH_I
+    if mnemonic in _RR_OPS:
+        if len(operands) != 2:
+            raise AssemblyError(f"{mnemonic} takes two operands", line_no)
+        rr, ri = _RR_OPS[mnemonic]
+        return rr if is_reg(operands[1]) else ri
+    op = _SIMPLE_MNEMONICS.get(mnemonic)
+    if op is None:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no)
+    return op
+
+
+def _build_instruction(stmt: _Statement, labels: Dict[str, int], addr: int) -> Instruction:
+    """Second pass: resolve labels and build the final Instruction."""
+    op = stmt.op
+    assert op is not None
+    info = OP_TABLE[op]
+    layout = info.layout
+
+    def resolve(v, line_no: int) -> int:
+        if isinstance(v, int):
+            return v
+        if isinstance(v, str):
+            if v not in labels:
+                raise AssemblyError(f"undefined label {v!r}", line_no)
+            return labels[v]
+        raise AssemblyError(f"expected immediate or label, got {v!r}", line_no)
+
+    ops = stmt.operands
+    kwargs: dict = {"addr": addr}
+    if layout is OperandLayout.NONE:
+        pass
+    elif layout in (OperandLayout.REG, OperandLayout.REG_IN_OPCODE):
+        kwargs["dst"] = ops[0]
+    elif layout is OperandLayout.REG_REG:
+        kwargs["dst"], kwargs["src"] = ops[0], ops[1]
+    elif layout in (OperandLayout.REG_IMM64, OperandLayout.REG_IMM32, OperandLayout.REG_IMM8):
+        kwargs["dst"] = ops[0]
+        kwargs["imm"] = resolve(ops[1], stmt.line_no)
+    elif layout is OperandLayout.REG_MEM:
+        mem = ops[1]
+        kwargs["dst"], kwargs["base"], kwargs["disp"] = ops[0], mem.base, mem.disp
+    elif layout is OperandLayout.MEM_REG:
+        mem = ops[0]
+        kwargs["base"], kwargs["disp"], kwargs["src"] = mem.base, mem.disp, ops[1]
+    elif layout is OperandLayout.IMM64:
+        kwargs["imm"] = resolve(ops[0], stmt.line_no)
+    elif layout is OperandLayout.REL32:
+        target = resolve(ops[0], stmt.line_no)
+        kwargs["rel"] = target - (addr + info.size)
+    elif layout is OperandLayout.MEM:
+        mem = ops[0]
+        kwargs["base"], kwargs["disp"] = mem.base, mem.disp
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(layout)
+    return Instruction(op=op, **kwargs)
+
+
+def _parse_directive(mnemonic: str, rest: str, line_no: int) -> bytes:
+    if mnemonic == ".quad":
+        values = [_parse_int(v.strip(), line_no) for v in rest.split(",")]
+        return b"".join(struct.pack("<Q", v & ((1 << 64) - 1)) for v in values)
+    if mnemonic == ".byte":
+        values = [_parse_int(v.strip(), line_no) for v in rest.split(",")]
+        return bytes(v & 0xFF for v in values)
+    if mnemonic == ".zero":
+        return b"\x00" * _parse_int(rest.strip(), line_no)
+    if mnemonic == ".asciz":
+        text = rest.strip()
+        if not (text.startswith('"') and text.endswith('"')):
+            raise AssemblyError(".asciz expects a double-quoted string", line_no)
+        body = text[1:-1].encode().decode("unicode_escape").encode("latin-1")
+        return body + b"\x00"
+    raise AssemblyError(f"unknown directive {mnemonic!r}", line_no)
+
+
+def assemble_unit(
+    source: str, base_addr: int = 0, extra_labels: Optional[Dict[str, int]] = None
+) -> AssembledUnit:
+    """Assemble ``source`` and return bytes, labels, and instruction list.
+
+    ``extra_labels`` pre-defines symbols (e.g. data-section addresses
+    assigned by the linker) that the source may reference but not define.
+    """
+    statements: List[_Statement] = []
+    labels: Dict[str, int] = dict(extra_labels or {})
+    addr = base_addr
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        while True:
+            match = _LABEL_RE.match(line.split(None, 1)[0]) if line else None
+            if match and line == match.group(0):
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblyError(f"duplicate label {name!r}", line_no)
+                labels[name] = addr
+                line = ""
+                break
+            if match:
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblyError(f"duplicate label {name!r}", line_no)
+                labels[name] = addr
+                line = line.split(None, 1)[1].strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if mnemonic.startswith("."):
+            data = _parse_directive(mnemonic, rest, line_no)
+            statements.append(
+                _Statement(line_no=line_no, mnemonic=mnemonic, operands=[], size=len(data), data=data)
+            )
+            addr += len(data)
+            continue
+        operands = [_parse_operand(t, line_no) for t in _split_operands(rest)]
+        op = _select_op(mnemonic, operands, line_no)
+        size = OP_TABLE[op].size
+        statements.append(
+            _Statement(line_no=line_no, mnemonic=mnemonic, operands=operands, size=size, op=op)
+        )
+        addr += size
+
+    out = bytearray()
+    insns: List[Instruction] = []
+    addr = base_addr
+    for stmt in statements:
+        if stmt.data is not None:
+            out += stmt.data
+        else:
+            insn = _build_instruction(stmt, labels, addr)
+            insns.append(insn)
+            out += encode(insn)
+        addr += stmt.size
+    return AssembledUnit(code=bytes(out), labels=labels, instructions=insns)
+
+
+def assemble(source: str, base_addr: int = 0) -> bytes:
+    """Assemble ``source`` and return just the encoded bytes."""
+    return assemble_unit(source, base_addr).code

@@ -1,0 +1,48 @@
+"""Linear-sweep disassembler with graceful handling of data bytes."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from .encoding import DecodeError, decode
+from .instructions import Instruction
+
+
+def disassemble(data: bytes, base_addr: int = 0) -> List[Instruction]:
+    """Linear-sweep disassembly; skips undecodable bytes one at a time.
+
+    Unlike :func:`repro.isa.encoding.decode_all`, this never raises: a
+    byte that does not start a valid instruction is skipped, mirroring
+    how objdump-style tools recover after data islands.
+    """
+    out: List[Instruction] = []
+    offset = 0
+    while offset < len(data):
+        try:
+            insn = decode(data, offset, addr=base_addr + offset)
+        except DecodeError:
+            offset += 1
+            continue
+        out.append(insn)
+        offset += insn.size
+    return out
+
+
+def disassemble_lines(data: bytes, base_addr: int = 0) -> Iterator[Tuple[int, str]]:
+    """Yield ``(address, text)`` pairs for a human-readable listing."""
+    offset = 0
+    while offset < len(data):
+        addr = base_addr + offset
+        try:
+            insn = decode(data, offset, addr=addr)
+        except DecodeError:
+            yield addr, f".byte {data[offset]:#04x}"
+            offset += 1
+            continue
+        yield addr, str(insn)
+        offset += insn.size
+
+
+def format_listing(data: bytes, base_addr: int = 0) -> str:
+    """A complete listing as one string (for examples and debugging)."""
+    return "\n".join(f"{addr:#010x}:  {text}" for addr, text in disassemble_lines(data, base_addr))

@@ -1,0 +1,205 @@
+"""Binary encoder/decoder for NFL instructions.
+
+Encodings are little-endian and variable-length (1 to 10 bytes).  The
+decoder is total over the subset of byte strings that form valid
+encodings and raises :class:`DecodeError` otherwise — exactly the
+behaviour gadget extraction relies on when it probes *unaligned*
+offsets inside instruction streams.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List
+
+from .instructions import Instruction, Op, OperandLayout, OP_TABLE
+from .registers import Reg
+
+
+class DecodeError(ValueError):
+    """Raised when bytes at an offset do not form a valid instruction."""
+
+
+_VALID_OPCODES = {int(op) for op in Op}
+
+
+def _pack_u64(value: int) -> bytes:
+    return struct.pack("<Q", value & ((1 << 64) - 1))
+
+
+def _pack_i32(value: int) -> bytes:
+    return struct.pack("<i", value)
+
+
+def _reg_byte(hi: Reg | None, lo: Reg | None) -> int:
+    h = int(hi) if hi is not None else 0
+    l = int(lo) if lo is not None else 0
+    return ((h & 0xF) << 4) | (l & 0xF)
+
+
+def encode(insn: Instruction) -> bytes:
+    """Encode a single instruction to bytes.
+
+    Raises :class:`ValueError` when an operand does not fit its field
+    (e.g. a 32-bit immediate out of range).
+    """
+    info = OP_TABLE[insn.op]
+    layout = info.layout
+    if layout is OperandLayout.REG_IN_OPCODE:
+        return bytes([int(insn.op) | int(insn.dst)])
+    out = bytearray([int(insn.op)])
+    if layout is OperandLayout.NONE:
+        pass
+    elif layout is OperandLayout.REG:
+        out.append(_reg_byte(None, insn.dst))
+    elif layout is OperandLayout.REG_REG:
+        out.append(_reg_byte(insn.dst, insn.src))
+    elif layout is OperandLayout.REG_IMM64:
+        out.append(_reg_byte(None, insn.dst))
+        out += _pack_u64(insn.imm or 0)
+    elif layout is OperandLayout.REG_IMM32:
+        out.append(_reg_byte(None, insn.dst))
+        imm = insn.imm or 0
+        if not -(1 << 31) <= imm < (1 << 31):
+            raise ValueError(f"imm32 out of range: {imm:#x} in {insn}")
+        out += _pack_i32(imm)
+    elif layout is OperandLayout.REG_IMM8:
+        out.append(_reg_byte(None, insn.dst))
+        imm = insn.imm or 0
+        if not 0 <= imm < 256:
+            raise ValueError(f"imm8 out of range: {imm}")
+        out.append(imm)
+    elif layout is OperandLayout.REG_MEM:
+        out.append(_reg_byte(insn.dst, insn.base))
+        out += _pack_i32(insn.disp)
+    elif layout is OperandLayout.MEM_REG:
+        out.append(_reg_byte(insn.base, insn.src))
+        out += _pack_i32(insn.disp)
+    elif layout is OperandLayout.IMM64:
+        out += _pack_u64(insn.imm or 0)
+    elif layout is OperandLayout.REL32:
+        rel = insn.rel or 0
+        if not -(1 << 31) <= rel < (1 << 31):
+            raise ValueError(f"rel32 out of range: {rel:#x}")
+        out += _pack_i32(rel)
+    elif layout is OperandLayout.MEM:
+        out.append(_reg_byte(None, insn.base))
+        out += _pack_i32(insn.disp)
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(f"unhandled layout {layout}")
+    assert len(out) == info.size, (insn, len(out), info.size)
+    return bytes(out)
+
+
+def decode(data: bytes, offset: int = 0, addr: int | None = None) -> Instruction:
+    """Decode one instruction from ``data`` at ``offset``.
+
+    ``addr`` is the virtual address recorded on the instruction; it
+    defaults to ``offset`` (useful when ``data`` is a whole text section
+    loaded at address zero).
+    """
+    if addr is None:
+        addr = offset
+    if offset >= len(data):
+        raise DecodeError(f"offset {offset:#x} beyond end of data")
+    opcode = data[offset]
+    # Alias encodings: the high bit of the opcode byte is ignored, as
+    # with x86's many redundant encodings.  The assembler always emits
+    # the canonical (low) form; the alias form only ever arises when
+    # decoding data bytes — which is precisely what makes unaligned
+    # gadget scanning productive on x86, and, with this rule, here too.
+    canonical = opcode & 0x7F
+    if 0x70 <= canonical <= 0x7F:
+        # One-byte pop: register packed into the opcode byte.
+        return Instruction(op=Op.POP1, dst=Reg(canonical & 0xF), addr=addr)
+    if canonical not in _VALID_OPCODES:
+        raise DecodeError(f"invalid opcode byte {opcode:#04x} at {offset:#x}")
+    op = Op(canonical)
+    info = OP_TABLE[op]
+    if offset + info.size > len(data):
+        raise DecodeError(f"truncated {info.mnemonic} at {offset:#x}")
+    body = data[offset + 1 : offset + info.size]
+    layout = info.layout
+
+    def regs(b: int) -> tuple[Reg, Reg]:
+        return Reg((b >> 4) & 0xF), Reg(b & 0xF)
+
+    kwargs: dict = {}
+    if layout is OperandLayout.NONE:
+        pass
+    elif layout is OperandLayout.REG:
+        _, lo = regs(body[0])
+        if body[0] & 0xF0:
+            raise DecodeError(f"nonzero high nibble in REG operand at {offset:#x}")
+        kwargs["dst"] = lo
+    elif layout is OperandLayout.REG_REG:
+        hi, lo = regs(body[0])
+        kwargs["dst"], kwargs["src"] = hi, lo
+    elif layout is OperandLayout.REG_IMM64:
+        if body[0] & 0xF0:
+            raise DecodeError(f"nonzero high nibble in REG operand at {offset:#x}")
+        kwargs["dst"] = Reg(body[0] & 0xF)
+        kwargs["imm"] = struct.unpack("<Q", body[1:9])[0]
+    elif layout is OperandLayout.REG_IMM32:
+        if body[0] & 0xF0:
+            raise DecodeError(f"nonzero high nibble in REG operand at {offset:#x}")
+        kwargs["dst"] = Reg(body[0] & 0xF)
+        kwargs["imm"] = struct.unpack("<i", body[1:5])[0]
+    elif layout is OperandLayout.REG_IMM8:
+        if body[0] & 0xF0:
+            raise DecodeError(f"nonzero high nibble in REG operand at {offset:#x}")
+        kwargs["dst"] = Reg(body[0] & 0xF)
+        kwargs["imm"] = body[1]
+    elif layout is OperandLayout.REG_MEM:
+        hi, lo = regs(body[0])
+        kwargs["dst"], kwargs["base"] = hi, lo
+        kwargs["disp"] = struct.unpack("<i", body[1:5])[0]
+    elif layout is OperandLayout.MEM_REG:
+        hi, lo = regs(body[0])
+        kwargs["base"], kwargs["src"] = hi, lo
+        kwargs["disp"] = struct.unpack("<i", body[1:5])[0]
+    elif layout is OperandLayout.IMM64:
+        kwargs["imm"] = struct.unpack("<Q", body[0:8])[0]
+    elif layout is OperandLayout.REL32:
+        kwargs["rel"] = struct.unpack("<i", body[0:4])[0]
+    elif layout is OperandLayout.MEM:
+        if body[0] & 0xF0:
+            raise DecodeError(f"nonzero high nibble in MEM base at {offset:#x}")
+        kwargs["base"] = Reg(body[0] & 0xF)
+        kwargs["disp"] = struct.unpack("<i", body[1:5])[0]
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(f"unhandled layout {layout}")
+    return Instruction(op=op, addr=addr, **kwargs)
+
+
+def encode_program(insns: List[Instruction]) -> bytes:
+    """Encode a list of instructions back-to-back."""
+    return b"".join(encode(i) for i in insns)
+
+
+def decode_all(data: bytes, base_addr: int = 0) -> List[Instruction]:
+    """Decode an entire byte string as a contiguous instruction stream."""
+    out: List[Instruction] = []
+    offset = 0
+    while offset < len(data):
+        insn = decode(data, offset, addr=base_addr + offset)
+        out.append(insn)
+        offset += insn.size
+    return out
+
+
+def decode_window(data: bytes, offset: int, base_addr: int = 0, max_insns: int = 64) -> Iterator[Instruction]:
+    """Decode instructions starting at ``offset`` until decoding fails.
+
+    Used by gadget extraction: probing arbitrary (possibly unaligned)
+    offsets and yielding as many instructions as validly decode.
+    """
+    count = 0
+    while offset < len(data) and count < max_insns:
+        try:
+            insn = decode(data, offset, addr=base_addr + offset)
+        except DecodeError:
+            return
+        yield insn
+        offset += insn.size
+        count += 1

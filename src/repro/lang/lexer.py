@@ -1,0 +1,182 @@
+"""Lexer for MC, the mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "u64",
+    "u8",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int", "str", "ident", "kw", "op", "eof"
+    text: str
+    line: int
+    value: int = 0  # for int tokens
+    bytes_value: bytes = b""  # for string tokens
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def tokenize(source: str) -> List[Token]:
+    """Produce a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("int", source[i:j], line, value=value))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            out = bytearray()
+            while j < n and source[j] != '"':
+                c = source[j]
+                if c == "\\":
+                    j += 1
+                    if j >= n:
+                        raise LexError("unterminated escape", line)
+                    esc = source[j]
+                    mapping = {"n": 10, "t": 9, "0": 0, "\\": 92, '"': 34, "r": 13}
+                    if esc == "x":
+                        out.append(int(source[j + 1 : j + 3], 16))
+                        j += 2
+                    elif esc in mapping:
+                        out.append(mapping[esc])
+                    else:
+                        raise LexError(f"unknown escape \\{esc}", line)
+                else:
+                    out.append(ord(c))
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line)
+            tokens.append(Token("str", source[i : j + 1], line, bytes_value=bytes(out)))
+            i = j + 1
+            continue
+        if ch == "'":
+            # Character literal → int token.
+            j = i + 1
+            if j < n and source[j] == "\\":
+                esc = source[j + 1]
+                mapping = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                if esc not in mapping:
+                    raise LexError(f"unknown escape \\{esc}", line)
+                value = mapping[esc]
+                j += 2
+            else:
+                value = ord(source[j])
+                j += 1
+            if j >= n or source[j] != "'":
+                raise LexError("unterminated char literal", line)
+            tokens.append(Token("int", source[i : j + 1], line, value=value))
+            i = j + 1
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

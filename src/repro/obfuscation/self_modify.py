@@ -1,0 +1,108 @@
+"""Self-modification obfuscation (Tigress's ``SelfModify`` family).
+
+Approximation (documented in DESIGN.md): selected function bodies are
+stored XOR-encoded in the executable, and a decoder stub prepended to
+the entry point rewrites them in place before transferring control to
+the original ``_start``.  Statically, the encoded ranges decode to
+garbage (or to *different* instructions) — changing the gadget
+population exactly as runtime code patching does — while the decoder
+stub itself contributes new code.  The text section becomes writable,
+as any self-modifying program requires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..binfmt.image import BinaryImage, SCRATCH_SIZE, Section
+from ..compiler.link import LinkedProgram
+from ..isa.assembler import assemble_unit
+
+
+def _function_extents(image: BinaryImage) -> Dict[str, Tuple[int, int]]:
+    """Byte ranges of each ``fn_*`` symbol, ended by the next symbol."""
+    text = image.text
+    fn_syms = sorted(
+        (addr, name)
+        for name, addr in image.symbols.items()
+        if name.startswith("fn_") and text.contains(addr)
+    )
+    boundaries = [addr for addr, _ in fn_syms] + [text.end]
+    extents: Dict[str, Tuple[int, int]] = {}
+    for i, (addr, name) in enumerate(fn_syms):
+        extents[name] = (addr, boundaries[i + 1])
+    return extents
+
+
+def _decoder_stub(ranges: Sequence[Tuple[int, int]], key: int, resume: int, base: int) -> bytes:
+    """Assemble the run-once decoder prepended to the entry point."""
+    lines: List[str] = ["__sm_start:"]
+    for i, (start, end) in enumerate(ranges):
+        lines += [
+            f"    mov rax, {start}",
+            f"    mov rbx, {end}",
+            f"__sm_loop{i}:",
+            f"    cmp rax, rbx",
+            f"    jae __sm_done{i}",
+            f"    movzxb rcx, [rax]",
+            f"    xor rcx, {key}",
+            f"    movb [rax], rcx",
+            f"    add rax, 1",
+            f"    jmp __sm_loop{i}",
+            f"__sm_done{i}:",
+        ]
+    lines += [
+        f"    mov rdx, {resume}",
+        "    jmp rdx",
+    ]
+    return assemble_unit("\n".join(lines), base_addr=base).code
+
+
+def apply_self_modification(
+    linked: LinkedProgram,
+    *,
+    seed: int = 0,
+    functions: Optional[Sequence[str]] = None,
+    probability: float = 1.0,
+) -> LinkedProgram:
+    """Return a new LinkedProgram with encoded function bodies.
+
+    ``functions`` selects ``fn_*`` symbols to encode (default: every
+    user function except the runtime's ``_start``); ``probability``
+    samples among them.
+    """
+    rng = random.Random(f"{seed}/self_modify")
+    key = rng.randrange(1, 256)
+    image = linked.image
+    extents = _function_extents(image)
+    runtime = {"fn_print", "fn_print_str", "fn_print_char", "fn_exit", "fn_syscall"}
+    if functions is None:
+        candidates = [n for n in extents if n not in runtime]
+    else:
+        candidates = [n for n in functions if n in extents]
+    chosen = [n for n in candidates if rng.random() < probability]
+    if not chosen:
+        return linked
+
+    text = bytearray(image.text.data)
+    text_base = image.text.addr
+    ranges: List[Tuple[int, int]] = []
+    for name in chosen:
+        start, end = extents[name]
+        for addr in range(start, end):
+            text[addr - text_base] ^= key
+        ranges.append((start, end))
+
+    stub_base = text_base + len(text)
+    stub = _decoder_stub(ranges, key, resume=image.entry, base=stub_base)
+    new_text = bytes(text) + stub
+
+    sections = [
+        # Self-modifying code requires a writable text mapping.
+        Section(".text", text_base, new_text, writable=True, executable=True)
+    ] + [s for s in image.sections if s.name != ".text"]
+    new_symbols = dict(image.symbols)
+    new_symbols["__sm_start"] = stub_base
+    new_image = BinaryImage(sections=sections, symbols=new_symbols, entry=stub_base)
+    return LinkedProgram(image=new_image, text_asm=linked.text_asm, data_symbols=linked.data_symbols)

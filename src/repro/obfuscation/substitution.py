@@ -1,0 +1,169 @@
+"""Instruction substitution (Obfuscator-LLVM's ``-sub``).
+
+Rewrites arithmetic/bitwise IR instructions into equivalent but more
+convoluted sequences, e.g. ``a ^ b → (~a & b) | (a & ~b)`` — the exact
+identity quoted in Sec. II of the paper.  Several alternatives exist
+per operator and are chosen pseudo-randomly; ``rounds`` controls how
+many times the whole function is re-substituted (substituting the
+substitutions, as O-LLVM does)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from ..compiler.ir import BinOp, Const, IRFunction, IRInstr, IRModule, Temp, UnOp, Value
+from .base import ObfuscationPass
+
+Rewriter = Callable[[IRFunction, BinOp, random.Random], List[IRInstr]]
+
+
+def _sub_add_xor_carry(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a + b = (a ^ b) + 2·(a & b)."""
+    x = fn.new_temp("sub")
+    c = fn.new_temp("sub")
+    c2 = fn.new_temp("sub")
+    return [
+        BinOp(x, "xor", instr.lhs, instr.rhs),
+        BinOp(c, "and", instr.lhs, instr.rhs),
+        BinOp(c2, "shl", c, Const(1)),
+        BinOp(instr.dst, "add", x, c2),
+    ]
+
+
+def _sub_add_double_neg(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a + b = a - (0 - b)."""
+    neg = fn.new_temp("sub")
+    return [
+        BinOp(neg, "sub", Const(0), instr.rhs),
+        BinOp(instr.dst, "sub", instr.lhs, neg),
+    ]
+
+
+def _sub_sub_via_not(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a - b = a + ~b + 1."""
+    nb = fn.new_temp("sub")
+    partial = fn.new_temp("sub")
+    return [
+        UnOp(nb, "not", instr.rhs),
+        BinOp(partial, "add", instr.lhs, nb),
+        BinOp(instr.dst, "add", partial, Const(1)),
+    ]
+
+
+def _sub_sub_via_neg(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a - b = a + (0 - b)."""
+    neg = fn.new_temp("sub")
+    return [
+        BinOp(neg, "sub", Const(0), instr.rhs),
+        BinOp(instr.dst, "add", instr.lhs, neg),
+    ]
+
+
+def _sub_xor_demorgan(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a ^ b = (~a & b) | (a & ~b) — the paper's Sec. II example."""
+    na = fn.new_temp("sub")
+    nb = fn.new_temp("sub")
+    left = fn.new_temp("sub")
+    right = fn.new_temp("sub")
+    return [
+        UnOp(na, "not", instr.lhs),
+        UnOp(nb, "not", instr.rhs),
+        BinOp(left, "and", na, instr.rhs),
+        BinOp(right, "and", instr.lhs, nb),
+        BinOp(instr.dst, "or", left, right),
+    ]
+
+
+def _sub_xor_or_minus_and(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a ^ b = (a | b) - (a & b)."""
+    both = fn.new_temp("sub")
+    common = fn.new_temp("sub")
+    return [
+        BinOp(both, "or", instr.lhs, instr.rhs),
+        BinOp(common, "and", instr.lhs, instr.rhs),
+        BinOp(instr.dst, "sub", both, common),
+    ]
+
+
+def _sub_and_or_minus_xor(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a & b = (a | b) - (a ^ b)."""
+    both = fn.new_temp("sub")
+    diff = fn.new_temp("sub")
+    return [
+        BinOp(both, "or", instr.lhs, instr.rhs),
+        BinOp(diff, "xor", instr.lhs, instr.rhs),
+        BinOp(instr.dst, "sub", both, diff),
+    ]
+
+
+def _sub_and_demorgan(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a & b = ~(~a | ~b)."""
+    na = fn.new_temp("sub")
+    nb = fn.new_temp("sub")
+    either = fn.new_temp("sub")
+    return [
+        UnOp(na, "not", instr.lhs),
+        UnOp(nb, "not", instr.rhs),
+        BinOp(either, "or", na, nb),
+        UnOp(instr.dst, "not", either),
+    ]
+
+
+def _sub_or_and_plus_xor(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a | b = (a & b) + (a ^ b)."""
+    common = fn.new_temp("sub")
+    diff = fn.new_temp("sub")
+    return [
+        BinOp(common, "and", instr.lhs, instr.rhs),
+        BinOp(diff, "xor", instr.lhs, instr.rhs),
+        BinOp(instr.dst, "add", common, diff),
+    ]
+
+
+def _sub_or_demorgan(fn: IRFunction, instr: BinOp, rng: random.Random) -> List[IRInstr]:
+    """a | b = ~(~a & ~b)."""
+    na = fn.new_temp("sub")
+    nb = fn.new_temp("sub")
+    both = fn.new_temp("sub")
+    return [
+        UnOp(na, "not", instr.lhs),
+        UnOp(nb, "not", instr.rhs),
+        BinOp(both, "and", na, nb),
+        UnOp(instr.dst, "not", both),
+    ]
+
+
+REWRITERS: Dict[str, List[Rewriter]] = {
+    "add": [_sub_add_xor_carry, _sub_add_double_neg],
+    "sub": [_sub_sub_via_not, _sub_sub_via_neg],
+    "xor": [_sub_xor_demorgan, _sub_xor_or_minus_and],
+    "and": [_sub_and_or_minus_xor, _sub_and_demorgan],
+    "or": [_sub_or_and_plus_xor, _sub_or_demorgan],
+}
+
+
+class InstructionSubstitution(ObfuscationPass):
+    """O-LLVM-style instruction substitution."""
+
+    name = "substitution"
+
+    def __init__(self, seed: int = 0, probability: float = 0.8, rounds: int = 1):
+        super().__init__(seed)
+        self.probability = probability
+        self.rounds = rounds
+
+    def run_function(self, module: IRModule, fn: IRFunction) -> None:
+        rng = self._rng_for(fn)
+        for _ in range(self.rounds):
+            for block in fn.blocks.values():
+                new_instrs: List[IRInstr] = []
+                for instr in block.instrs:
+                    rewriters = (
+                        REWRITERS.get(instr.op) if isinstance(instr, BinOp) else None
+                    )
+                    if rewriters and rng.random() < self.probability:
+                        new_instrs.extend(rng.choice(rewriters)(fn, instr, rng))
+                    else:
+                        new_instrs.append(instr)
+                block.instrs = new_instrs

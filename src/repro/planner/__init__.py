@@ -1,0 +1,221 @@
+"""Gadget-Planner — the paper's contribution, end to end.
+
+:class:`GadgetPlanner` drives the four-stage workflow of Fig. 3:
+
+1. **Gadget extraction** (:mod:`repro.gadgets.extract`),
+2. **Subsumption testing** (:mod:`repro.gadgets.subsumption`),
+3. **Partial-order planning** (:mod:`repro.planner.search`),
+4. **Post-processing** (:mod:`repro.planner.payload`): payload assembly
+   plus concrete validation in the emulator.
+
+Example::
+
+    from repro.planner import GadgetPlanner
+    planner = GadgetPlanner(image)
+    report = planner.run()
+    for payload in report.payloads:
+        print(payload.describe())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..binfmt.image import BinaryImage
+from ..solver.solver import Solver
+from ..gadgets.extract import ExtractionConfig, extract_gadgets
+from ..gadgets.record import GadgetRecord
+from ..gadgets.subsumption import SubsumptionStats, deduplicate_gadgets
+from .conditions import MemCondition, RegCondition
+from .goals import (
+    AttackGoal,
+    MemoryGoal,
+    Pointer,
+    ResolvedGoal,
+    execve_goal,
+    find_bytes_in_image,
+    mmap_goal,
+    mprotect_goal,
+    resolve_goal,
+    standard_goals,
+)
+from .library import ChainKind, GadgetLibrary, chain_kind
+from .payload import AssemblyError, AttackPayload, assemble_payload, validate_payload
+from .plan import CausalLink, OpenCondition, PartialPlan, Step
+from .search import PlannerConfig, SearchStats, search_plans
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock per stage (Table VII)."""
+
+    extraction: float = 0.0
+    subsumption: float = 0.0
+    planning: float = 0.0
+    postprocessing: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.extraction + self.subsumption + self.planning + self.postprocessing
+
+
+@dataclass
+class PlannerReport:
+    """Everything the evaluation tables need from one run."""
+
+    gadgets_total: int = 0
+    gadgets_after_subsumption: int = 0
+    library_size: int = 0
+    payloads: List[AttackPayload] = field(default_factory=list)
+    per_goal: Dict[str, int] = field(default_factory=dict)
+    timings: StageTimings = field(default_factory=StageTimings)
+    subsumption_stats: SubsumptionStats = field(default_factory=SubsumptionStats)
+    search_stats: Dict[str, SearchStats] = field(default_factory=dict)
+
+    @property
+    def total_payloads(self) -> int:
+        return len(self.payloads)
+
+    def gadgets_used(self) -> int:
+        return sum(len(p.chain) for p in self.payloads)
+
+
+class GadgetPlanner:
+    """The full pipeline against one binary image."""
+
+    def __init__(
+        self,
+        image: BinaryImage,
+        *,
+        extraction: Optional[ExtractionConfig] = None,
+        planner: Optional[PlannerConfig] = None,
+        solver: Optional[Solver] = None,
+        validate: bool = True,
+    ) -> None:
+        self.image = image
+        self.extraction_config = extraction or ExtractionConfig()
+        self.planner_config = planner or PlannerConfig()
+        # A tight conflict budget: planner queries are overwhelmingly
+        # easy; a hard one returning UNKNOWN just skips that provider.
+        self.solver = solver or Solver(max_conflicts=4000)
+        self.validate = validate
+        self._locate_cache: Dict[int, Optional[int]] = {}
+
+    def _word_locator(self, value: int) -> Optional[int]:
+        """A static address whose 8 bytes hold ``value`` (data-reuse).
+
+        Prefers the immutable text section over writable data, since
+        data contents may have changed by the time an exploit fires.
+        """
+        value &= (1 << 64) - 1
+        if value in self._locate_cache:
+            return self._locate_cache[value]
+        import struct
+
+        needle = struct.pack("<Q", value)
+        found: Optional[int] = None
+        for section in [self.image.text] + [
+            s for s in self.image.sections if s.name != ".text"
+        ]:
+            index = section.data.find(needle)
+            if index >= 0:
+                found = section.addr + index
+                break
+        self._locate_cache[value] = found
+        return found
+
+    def run(self, goals: Optional[Sequence[AttackGoal]] = None) -> PlannerReport:
+        report = PlannerReport()
+        goals = list(goals) if goals is not None else standard_goals(self.image)
+
+        t0 = time.perf_counter()
+        records = extract_gadgets(self.image, self.extraction_config)
+        report.gadgets_total = len(records)
+        t1 = time.perf_counter()
+        report.timings.extraction = t1 - t0
+
+        deduped = deduplicate_gadgets(records, solver=self.solver, stats=report.subsumption_stats)
+        report.gadgets_after_subsumption = len(deduped)
+        library = GadgetLibrary.build(deduped)
+        report.library_size = library.size
+        t2 = time.perf_counter()
+        report.timings.subsumption = t2 - t1
+
+        complete: List[tuple] = []  # (resolved goal, plan)
+        for goal in goals:
+            try:
+                resolved = resolve_goal(self.image, goal)
+            except ValueError:
+                report.per_goal[goal.name] = 0
+                continue
+            stats = SearchStats()
+            report.search_stats[goal.name] = stats
+            for plan in search_plans(
+                library,
+                resolved,
+                solver=self.solver,
+                config=self.planner_config,
+                stats=stats,
+                locator=self._word_locator,
+            ):
+                complete.append((resolved, plan))
+        t3 = time.perf_counter()
+        report.timings.planning = t3 - t2
+
+        seen_chains = set()
+        for resolved, plan in complete:
+            try:
+                payload = assemble_payload(plan, resolved, solver=self.solver)
+            except AssemblyError:
+                continue
+            # Count *distinct* chains: two linearizations of the same
+            # gadget set are one payload, not two.
+            key = (resolved.goal.name, frozenset(g.location for g in payload.chain))
+            if key in seen_chains:
+                continue
+            if self.validate:
+                if not validate_payload(self.image, payload, resolved):
+                    continue
+            seen_chains.add(key)
+            report.payloads.append(payload)
+            report.per_goal[resolved.goal.name] = report.per_goal.get(resolved.goal.name, 0) + 1
+        for goal in goals:
+            report.per_goal.setdefault(goal.name, 0)
+        report.timings.postprocessing = time.perf_counter() - t3
+        return report
+
+
+__all__ = [
+    "AssemblyError",
+    "AttackGoal",
+    "AttackPayload",
+    "CausalLink",
+    "ChainKind",
+    "ExtractionConfig",
+    "GadgetLibrary",
+    "GadgetPlanner",
+    "MemCondition",
+    "MemoryGoal",
+    "OpenCondition",
+    "PartialPlan",
+    "PlannerConfig",
+    "PlannerReport",
+    "Pointer",
+    "RegCondition",
+    "ResolvedGoal",
+    "SearchStats",
+    "StageTimings",
+    "Step",
+    "assemble_payload",
+    "chain_kind",
+    "execve_goal",
+    "find_bytes_in_image",
+    "mmap_goal",
+    "mprotect_goal",
+    "resolve_goal",
+    "search_plans",
+    "standard_goals",
+    "validate_payload",
+]

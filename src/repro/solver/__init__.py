@@ -1,0 +1,20 @@
+"""Constraint solving: CDCL SAT core, bit-blaster, and BV frontend."""
+
+from .sat import SATBudgetExceeded, SATResult, SATSolver, solve_clauses
+from .bitblast import BitBlaster, BlastError
+from .solver import DEFAULT_SOLVER, Solver, SolverResult, Status, check, prove
+
+__all__ = [
+    "BitBlaster",
+    "BlastError",
+    "DEFAULT_SOLVER",
+    "SATBudgetExceeded",
+    "SATResult",
+    "SATSolver",
+    "Solver",
+    "SolverResult",
+    "Status",
+    "check",
+    "prove",
+    "solve_clauses",
+]

@@ -1,0 +1,223 @@
+"""Bit-vector constraint solver frontend (the Z3 stand-in).
+
+Layered decision procedure:
+
+1. **Syntactic**: smart-constructor folding already reduced each
+   constraint; a ``FALSE`` conjunct is UNSAT, all-``TRUE`` is SAT.
+2. **Equality propagation**: ``sym == const`` conjuncts are substituted
+   through the rest and the system re-simplified to a fixpoint.  This
+   alone discharges the vast majority of plan-binding queries
+   ("stack slot 3 must equal 59").
+3. **Random sampling**: a handful of random assignments to the free
+   variables; any hit is a model.  Catches loose constraint systems
+   without touching CNF.
+4. **Bit-blasting + CDCL SAT** (:mod:`repro.solver.bitblast`,
+   :mod:`repro.solver.sat`) as the complete fallback, with a conflict
+   budget so pathological queries return UNKNOWN instead of hanging.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..symex.expr import (
+    BV,
+    BVConst,
+    BVSym,
+    Bool,
+    BoolConn,
+    BoolConst,
+    BoolExpr,
+    Cmp,
+    CmpOp,
+    bool_and,
+    bool_not,
+    bv_eq,
+    eval_bool,
+    free_symbols,
+    substitute,
+)
+from .bitblast import BitBlaster, BlastError
+from .sat import SATBudgetExceeded, SATSolver
+
+
+class Status(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverResult:
+    status: Status
+    model: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSAT
+
+
+def _flatten_conjuncts(constraints: Iterable[Bool]) -> List[Bool]:
+    out: List[Bool] = []
+    stack = list(constraints)
+    while stack:
+        c = stack.pop()
+        if isinstance(c, BoolExpr) and c.conn is BoolConn.AND:
+            stack.extend(c.args)
+        else:
+            out.append(c)
+    return out
+
+
+def _propagate_equalities(conjuncts: List[Bool]) -> tuple[List[Bool], Dict[str, int], bool]:
+    """Substitute ``sym == const`` bindings to a fixpoint.
+
+    Returns (residual conjuncts, bindings, consistent?).
+    """
+    bindings: Dict[str, int] = {}
+    work = list(conjuncts)
+    changed = True
+    while changed:
+        changed = False
+        residual: List[Bool] = []
+        for c in work:
+            if isinstance(c, BoolConst):
+                if not c.value:
+                    return [], bindings, False
+                continue
+            if isinstance(c, Cmp) and c.op is CmpOp.EQ:
+                sym, const = None, None
+                if isinstance(c.lhs, BVSym) and isinstance(c.rhs, BVConst):
+                    sym, const = c.lhs.name, c.rhs.value
+                elif isinstance(c.rhs, BVSym) and isinstance(c.lhs, BVConst):
+                    sym, const = c.rhs.name, c.lhs.value
+                if sym is not None:
+                    if sym in bindings and bindings[sym] != const:
+                        return [], bindings, False
+                    if sym not in bindings:
+                        bindings[sym] = const
+                        changed = True
+                    continue
+            residual.append(c)
+        if changed and bindings:
+            subs = {name: BVConst(value) for name, value in bindings.items()}
+            work = []
+            for c in residual:
+                simplified = substitute(c, subs)
+                if isinstance(simplified, BoolConst) and not simplified.value:
+                    return [], bindings, False
+                work.append(simplified)
+        else:
+            work = residual
+    final = [c for c in work if not (isinstance(c, BoolConst) and c.value)]
+    return final, bindings, True
+
+
+class Solver:
+    """Stateless checker over conjunctions of :class:`Bool` constraints."""
+
+    def __init__(
+        self,
+        *,
+        max_conflicts: int = 200_000,
+        sample_attempts: int = 24,
+        rng_seed: int = 0x5EED,
+    ) -> None:
+        self.max_conflicts = max_conflicts
+        self.sample_attempts = sample_attempts
+        self._rng = random.Random(rng_seed)
+
+    # -- public API -----------------------------------------------------------
+
+    def check(self, constraints: Sequence[Bool]) -> SolverResult:
+        """Decide satisfiability of the conjunction of ``constraints``."""
+        conjuncts = _flatten_conjuncts(constraints)
+        residual, bindings, consistent = _propagate_equalities(conjuncts)
+        if not consistent:
+            return SolverResult(Status.UNSAT)
+        if not residual:
+            return SolverResult(Status.SAT, model=dict(bindings))
+        symbols = sorted(set().union(*(free_symbols(c) for c in residual)))
+        sampled = self._try_sampling(residual, symbols)
+        if sampled is not None:
+            sampled.update(bindings)
+            return SolverResult(Status.SAT, model=sampled)
+        return self._check_with_sat(residual, symbols, bindings)
+
+    def prove(self, formula: Bool) -> bool:
+        """True iff ``formula`` is valid (its negation is UNSAT)."""
+        return self.check([bool_not(formula)]).is_unsat
+
+    def equivalent(self, a: BV, b: BV, assuming: Optional[Sequence[Bool]] = None) -> bool:
+        """True iff ``a == b`` under the (optional) assumptions."""
+        if a == b:
+            return True
+        goal = bv_eq(a, b)
+        if assuming:
+            hypothesis = bool_and(*assuming)
+            query = [hypothesis, bool_not(goal)]
+        else:
+            query = [bool_not(goal)]
+        return self.check(query).is_unsat
+
+    def satisfiable(self, constraints: Sequence[Bool]) -> bool:
+        return self.check(constraints).is_sat
+
+    # -- internals ---------------------------------------------------------------
+
+    def _try_sampling(self, conjuncts: List[Bool], symbols: List[str]) -> Optional[Dict[str, int]]:
+        if len(symbols) > 64:
+            return None
+        special = [0, 1, (1 << 64) - 1, 59, 0x600000]
+        for attempt in range(self.sample_attempts):
+            env = {}
+            for s in symbols:
+                if attempt < len(special):
+                    env[s] = special[attempt]
+                else:
+                    env[s] = self._rng.getrandbits(64)
+            try:
+                if all(eval_bool(c, env) for c in conjuncts):
+                    return env
+            except Exception:  # pragma: no cover - defensive
+                return None
+        return None
+
+    def _check_with_sat(
+        self, conjuncts: List[Bool], symbols: List[str], bindings: Dict[str, int]
+    ) -> SolverResult:
+        sat = SATSolver()
+        blaster = BitBlaster(sat)
+        try:
+            for c in conjuncts:
+                blaster.assert_bool(c)
+        except BlastError:
+            return SolverResult(Status.UNKNOWN)
+        try:
+            result = sat.solve(max_conflicts=self.max_conflicts)
+        except SATBudgetExceeded:
+            return SolverResult(Status.UNKNOWN)
+        if not result.satisfiable:
+            return SolverResult(Status.UNSAT)
+        model = {name: blaster.extract_value(name, result.model) for name in symbols}
+        model.update(bindings)
+        return SolverResult(Status.SAT, model=model)
+
+
+#: A module-level default solver for casual callers.
+DEFAULT_SOLVER = Solver()
+
+
+def check(constraints: Sequence[Bool]) -> SolverResult:
+    return DEFAULT_SOLVER.check(constraints)
+
+
+def prove(formula: Bool) -> bool:
+    return DEFAULT_SOLVER.prove(formula)

@@ -1,0 +1,79 @@
+"""Syntactic inversion of single-variable bit-vector equations.
+
+``solve_for(expr, target)`` finds the unique value ``v`` of the single
+free symbol in ``expr`` such that ``expr == target`` (mod 2⁶⁴), for the
+chains of invertible operations gadget post-conditions are made of:
+add/sub/xor with constants, ``not``, ``neg``, and multiplication by odd
+constants.  Where the expression is not an invertible chain, ``None``
+is returned and the caller falls back to the solver — this is purely a
+fast path, covering the overwhelmingly common ``pop``/``lea``/
+arithmetic-adjust gadget shapes without a single SAT call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .expr import BV, BVBin, BVBinOp, BVConst, BVSym, BVUn, BVUnOp, MASK64
+
+
+def _modinv_odd(a: int) -> int:
+    """Inverse of an odd number modulo 2^64 (Newton iteration)."""
+    x = a  # 3 bits correct
+    for _ in range(6):
+        x = (x * (2 - a * x)) & MASK64
+    return x
+
+
+def solve_for(expr: BV, target: int) -> Optional[Tuple[str, int]]:
+    """Return ``(symbol_name, value)`` with ``expr[sym := value] == target``.
+
+    Only handles expressions whose free-variable occurrences form one
+    invertible chain over a single symbol.
+    """
+    target &= MASK64
+    node = expr
+    while True:
+        if isinstance(node, BVSym):
+            return node.name, target
+        if isinstance(node, BVConst):
+            return None  # no variable at all
+        if isinstance(node, BVUn):
+            if node.op is BVUnOp.NOT:
+                target = ~target & MASK64
+            else:  # NEG
+                target = -target & MASK64
+            node = node.arg
+            continue
+        if isinstance(node, BVBin):
+            op = node.op
+            # Put the constant on one side.
+            if isinstance(node.rhs, BVConst):
+                const, varside, const_on_right = node.rhs.value, node.lhs, True
+            elif isinstance(node.lhs, BVConst):
+                const, varside, const_on_right = node.lhs.value, node.rhs, False
+            else:
+                return None
+            if op is BVBinOp.ADD:
+                target = (target - const) & MASK64
+            elif op is BVBinOp.SUB:
+                if const_on_right:
+                    target = (target + const) & MASK64
+                else:  # const - e == target
+                    target = (const - target) & MASK64
+            elif op is BVBinOp.XOR:
+                target ^= const
+            elif op is BVBinOp.MUL:
+                if const % 2 == 0:
+                    return None  # not invertible mod 2^64
+                target = (target * _modinv_odd(const)) & MASK64
+            elif op is BVBinOp.SHL and const_on_right:
+                shift = const & 0x3F
+                if target & ((1 << shift) - 1):
+                    return None  # low bits nonzero: unreachable value
+                target >>= shift
+            else:
+                return None
+            node = varside
+            continue
+        return None

@@ -1,0 +1,176 @@
+"""Tests for the two-pass assembler and the disassembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError,
+    Op,
+    Reg,
+    assemble,
+    assemble_unit,
+    decode_all,
+    disassemble,
+    format_listing,
+)
+
+
+def ops(code, base=0):
+    return [i.op for i in decode_all(code, base)]
+
+
+def test_simple_sequence():
+    code = assemble(
+        """
+        push rbp
+        mov rbp, rsp
+        mov rax, 59
+        pop rbp
+        ret
+        """
+    )
+    assert ops(code) == [Op.PUSH_R, Op.MOV_RR, Op.MOV_RI, Op.POP1, Op.RET]
+
+
+def test_labels_forward_and_backward():
+    unit = assemble_unit(
+        """
+        start:
+            jmp fwd
+        back:
+            ret
+        fwd:
+            jmp back
+        """
+    )
+    insns = unit.instructions
+    assert insns[0].target == unit.labels["fwd"]
+    assert insns[2].target == unit.labels["back"]
+
+
+def test_label_as_immediate():
+    unit = assemble_unit(
+        """
+            mov rax, data
+            ret
+        data:
+            .quad 42
+        """
+    )
+    assert unit.instructions[0].imm == unit.labels["data"]
+
+
+def test_memory_operands():
+    unit = assemble_unit(
+        """
+        mov rax, [rbp-8]
+        mov [rsp+16], rbx
+        lea rdi, [rsp+0x20]
+        jmp [rax+8]
+        """
+    )
+    load, store, lea, jmpm = unit.instructions
+    assert load.op == Op.LOAD and load.base == Reg.RBP and load.disp == -8
+    assert store.op == Op.STORE and store.base == Reg.RSP and store.disp == 16
+    assert lea.op == Op.LEA and lea.disp == 0x20
+    assert jmpm.op == Op.JMP_M and jmpm.base == Reg.RAX and jmpm.disp == 8
+
+
+def test_mem_operand_without_disp():
+    unit = assemble_unit("mov rax, [rbx]")
+    assert unit.instructions[0].disp == 0
+
+
+def test_shape_dispatch_jmp_call_push():
+    unit = assemble_unit(
+        """
+        t:
+        jmp t
+        jmp rax
+        call t
+        call rbx
+        push rcx
+        push 7
+        """
+    )
+    got = [i.op for i in unit.instructions]
+    assert got == [Op.JMP_REL, Op.JMP_R, Op.CALL_REL, Op.CALL_R, Op.PUSH_R, Op.PUSH_I]
+
+
+def test_arith_imm_vs_reg():
+    unit = assemble_unit(
+        """
+        add rax, rbx
+        add rax, 5
+        cmp rdx, 0
+        test rsi, rsi
+        """
+    )
+    got = [i.op for i in unit.instructions]
+    assert got == [Op.ADD_RR, Op.ADD_RI, Op.CMP_RI, Op.TEST_RR]
+
+
+def test_conditional_jumps():
+    source = "t:\n" + "\n".join(
+        f"{m} t" for m in ["je", "jne", "jl", "jle", "jg", "jge", "jb", "jbe", "ja", "jae", "js", "jns"]
+    )
+    unit = assemble_unit(source)
+    assert len(unit.instructions) == 12
+
+
+def test_directives():
+    unit = assemble_unit(
+        """
+        .quad 0x1122334455667788
+        .byte 1, 2, 3
+        .zero 4
+        .asciz "hi"
+        """
+    )
+    assert unit.code == (
+        bytes.fromhex("8877665544332211") + b"\x01\x02\x03" + b"\x00" * 4 + b"hi\x00"
+    )
+
+
+def test_comments_and_blank_lines():
+    code = assemble(
+        """
+        ; full line comment
+        nop  ; trailing comment
+        # hash comment
+        ret
+        """
+    )
+    assert ops(code) == [Op.NOP, Op.RET]
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblyError, match="undefined label"):
+        assemble("jmp nowhere")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblyError, match="duplicate label"):
+        assemble("a:\na:\nret")
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblyError, match="unknown mnemonic"):
+        assemble("frobnicate rax")
+
+
+def test_base_addr_affects_rel_encoding():
+    unit = assemble_unit("start: jmp start", base_addr=0x400000)
+    assert unit.instructions[0].target == 0x400000
+
+
+def test_disassemble_skips_data():
+    blob = b"\x0f\x0e" + assemble("ret")
+    insns = disassemble(blob)
+    assert [i.op for i in insns] == [Op.RET]
+
+
+def test_format_listing_roundtrip_text():
+    listing = format_listing(assemble("mov rax, 59\nsyscall\nret"), base_addr=0x400000)
+    assert "mov rax, 0x3b" in listing
+    assert "syscall" in listing
+    assert "ret" in listing

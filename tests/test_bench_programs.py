@@ -1,0 +1,121 @@
+"""Tests for the benchmark suites: every program compiles, runs, and
+keeps its behaviour under a representative obfuscation config."""
+
+import pytest
+
+from repro.bench import BENCHMARK_SUITE, SPEC_SUITE, build, verify_semantics
+from repro.bench.netperf import (
+    NETPERF_SOURCE,
+    build_exploit_argument,
+    find_overflow_offset,
+    netperf_image,
+    run_netperf_with_arg,
+)
+from repro.emulator import run_image
+from repro.obfuscation import CONFIGS
+
+EXPECTED_OUTPUTS = {
+    "bubble_sort": b"44063238\n",
+    "binary_search": b"496\n208\n",
+    "matrix_multiply": b"644001458\n",
+    "crc32": b"4165033073\n",
+    "rc4_like": b"160739251\n",
+    "string_ops": b"reliefpfeiler\n101\n",
+    "fibonacci_dp": b"189711163\n",
+    "quicksort": b"1\n286884401\n",
+    "priority_queue": b"1\n809086239\n",
+    "state_machine": b"5\n4\n13\n",
+    "hash_table": b"40\n39\n",
+    "bigint_add": b"216361284\n",
+}
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARK_SUITE))
+def test_benchmark_program_output(name):
+    status, out = run_image(build(name, "none").image, step_limit=20_000_000)
+    assert status == 0
+    assert out == EXPECTED_OUTPUTS[name]
+
+
+@pytest.mark.parametrize("name", ["crc32", "state_machine", "fibonacci_dp"])
+def test_benchmark_obfuscated_matches(name):
+    assert verify_semantics(name, "llvm_obf")
+
+
+def test_one_program_under_tigress():
+    assert verify_semantics("state_machine", "tigress")
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_SUITE))
+def test_spec_program_runs(name):
+    if name == "445.gobmk":
+        pytest.skip("gobmk is the long-running one; covered by benchmarks")
+    status, out = run_image(build(name, "none").image, step_limit=40_000_000)
+    assert status == 0
+    assert out  # self-check prints something
+
+
+def test_spec_obfuscated_matches():
+    assert verify_semantics("429.mcf", "llvm_obf")
+
+
+# ---------------------------------------------------------------------------
+# netperf case study machinery
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def netperf_plain():
+    return netperf_image()
+
+
+def test_netperf_runs_normally(netperf_plain):
+    status, out = run_image(netperf_plain.image, step_limit=40_000_000)
+    assert status == 0
+    lines = out.split()
+    assert lines[0] == b"0" and lines[1] == b"0"
+
+
+def test_netperf_parses_benign_argument(netperf_plain):
+    emu, event = run_netperf_with_arg(netperf_plain, b"120,340")
+    assert event is None
+    assert emu.syscalls.stdout.split()[0] == b"120"
+    assert emu.syscalls.stdout.split()[1] == b"340"
+
+
+def test_netperf_overflow_offset_found(netperf_plain):
+    offset = find_overflow_offset(netperf_plain)
+    assert offset is not None
+    assert offset % 8 == 0
+    assert offset >= 16  # at least the two buffers
+
+
+def test_netperf_offset_found_on_obfuscated_build():
+    linked = netperf_image(CONFIGS["llvm_obf"], seed=3)
+    offset = find_overflow_offset(linked)
+    assert offset is not None
+
+
+def test_build_exploit_argument_layout(netperf_plain):
+    offset = find_overflow_offset(netperf_plain)
+    payload = b"\xde\xad\xbe\xef\x00\x00\x40\x00" * 2
+    arg = build_exploit_argument(netperf_plain, payload, offset=offset)
+    assert arg is not None
+    assert len(arg) == offset + len(payload)
+    assert arg.endswith(payload)
+    # Saved-rbp word points into mapped scratch, not 'AAAA...'.
+    saved_rbp = int.from_bytes(arg[offset - 8 : offset], "little")
+    assert saved_rbp != 0x4141414141414141
+
+
+def test_control_flow_hijack_end_to_end(netperf_plain):
+    """Deliver a trivial 'payload' that jumps straight to the image's
+    exit stub: proves arbitrary rip control through break_args."""
+    image = netperf_plain.image
+    target = image.symbol("fn_exit")  # exit(rdi): any status
+    offset = find_overflow_offset(netperf_plain)
+    arg = build_exploit_argument(netperf_plain, target.to_bytes(8, "little"), offset=offset)
+    emu, event = run_netperf_with_arg(netperf_plain, arg)
+    assert event is None
+    # The process exited *without* printing: main never resumed.
+    assert b"\n" not in bytes(emu.syscalls.stdout) or emu.steps < 100_000

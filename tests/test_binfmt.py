@@ -1,0 +1,99 @@
+"""Tests for the NFLF executable container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binfmt import (
+    BinaryFormatError,
+    BinaryImage,
+    DATA_BASE,
+    SCRATCH_SIZE,
+    Section,
+    TEXT_BASE,
+    make_image,
+)
+
+
+def sample_image():
+    return make_image(
+        text=b"\x00\x01\x02\x03",
+        data=b"hello",
+        entry=TEXT_BASE + 2,
+        symbols={"fn_main": TEXT_BASE, "g": DATA_BASE},
+    )
+
+
+def test_make_image_sections():
+    image = sample_image()
+    assert image.text.addr == TEXT_BASE
+    assert image.text.executable and not image.text.writable
+    assert image.data.addr == DATA_BASE
+    assert image.data.writable and not image.data.executable
+    assert image.data.data.startswith(b"hello")
+    assert len(image.data.data) == 5 + SCRATCH_SIZE
+
+
+def test_scratch_symbol_set():
+    image = sample_image()
+    assert image.symbol("__scratch") == DATA_BASE + 5
+
+
+def test_section_lookup_and_read():
+    image = sample_image()
+    assert image.section_at(TEXT_BASE + 1) is image.text
+    assert image.section_at(0x1234) is None
+    assert image.read(DATA_BASE, 5) == b"hello"
+    with pytest.raises(BinaryFormatError):
+        image.read(DATA_BASE - 1, 4)
+
+
+def test_symbol_lookup_errors():
+    image = sample_image()
+    with pytest.raises(KeyError):
+        image.symbol("nope")
+    with pytest.raises(KeyError):
+        image.section("nope")
+
+
+def test_serialize_roundtrip():
+    image = sample_image()
+    blob = image.to_bytes()
+    back = BinaryImage.from_bytes(blob)
+    assert back.entry == image.entry
+    assert back.symbols == image.symbols
+    assert len(back.sections) == len(image.sections)
+    for a, b in zip(back.sections, image.sections):
+        assert (a.name, a.addr, a.data, a.writable, a.executable) == (
+            b.name,
+            b.addr,
+            b.data,
+            b.writable,
+            b.executable,
+        )
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(BinaryFormatError):
+        BinaryImage.from_bytes(b"ELF\x00" + b"\x00" * 64)
+
+
+def test_truncated_rejected():
+    blob = sample_image().to_bytes()
+    with pytest.raises(BinaryFormatError):
+        BinaryImage.from_bytes(blob[: len(blob) // 2])
+
+
+@given(
+    text=st.binary(min_size=1, max_size=256),
+    data=st.binary(min_size=0, max_size=64),
+    syms=st.dictionaries(
+        st.text(alphabet="abcdefgh_", min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=(1 << 48)),
+        max_size=8,
+    ),
+)
+def test_property_roundtrip(text, data, syms):
+    image = make_image(text, data=data, symbols=syms)
+    back = BinaryImage.from_bytes(image.to_bytes())
+    assert back.symbols == image.symbols
+    assert back.text.data == text

@@ -1,0 +1,132 @@
+"""Tests for CFG recovery on raw binaries."""
+
+from repro.analysis import recover_cfg
+from repro.binfmt import make_image
+from repro.isa import Op, assemble_unit
+
+
+def cfg_for(source):
+    unit = assemble_unit(source, base_addr=0x400000)
+    image = make_image(unit.code, symbols=dict(unit.labels))
+    return recover_cfg(image), unit.labels
+
+
+def test_single_block():
+    cfg, labels = cfg_for("entry:\nmov rax, 1\nmov rbx, 2\nret")
+    assert cfg.num_blocks == 1
+    block = cfg.blocks[0x400000]
+    assert len(block.instructions) == 3
+    assert block.successors == ()
+
+
+def test_branch_splits_blocks():
+    cfg, labels = cfg_for(
+        """
+        entry:
+            cmp rax, 0
+            je done
+            mov rbx, 1
+        done:
+            ret
+        """
+    )
+    entry = cfg.blocks[0x400000]
+    assert entry.terminator.op == Op.JE
+    assert set(entry.successors) == {labels["done"], entry.end}
+    assert labels["done"] in cfg.blocks
+
+
+def test_jump_target_becomes_leader():
+    cfg, labels = cfg_for(
+        """
+        entry:
+            jmp mid
+            nop
+        mid:
+            mov rax, 1
+            ret
+        """
+    )
+    assert labels["mid"] in cfg.blocks
+    entry = cfg.blocks[0x400000]
+    assert entry.successors == (labels["mid"],)
+
+
+def test_loop_back_edge():
+    cfg, labels = cfg_for(
+        """
+        entry:
+            mov rcx, 10
+        loop:
+            dec rcx
+            cmp rcx, 0
+            jne loop
+            ret
+        """
+    )
+    loop_block = cfg.blocks[labels["loop"]]
+    assert labels["loop"] in loop_block.successors
+
+
+def test_call_creates_function_entry():
+    cfg, labels = cfg_for(
+        """
+        entry:
+            call fn
+            ret
+        fn:
+            mov rax, 7
+            ret
+        """
+    )
+    assert labels["fn"] in cfg.blocks
+    entry = cfg.blocks[0x400000]
+    # call: target is explored and the call falls through.
+    assert labels["fn"] in entry.successors or any(
+        labels["fn"] in b.successors for b in cfg.blocks.values()
+    )
+
+
+def test_block_split_on_incoming_edge_mid_block():
+    """A jump into the middle of a straightline run must split it."""
+    cfg, labels = cfg_for(
+        """
+        entry:
+            mov rax, 1
+        target:
+            mov rbx, 2
+            ret
+        back:
+            jmp target
+        """
+    )
+    assert labels["target"] in cfg.blocks
+    first = cfg.blocks[0x400000]
+    assert first.end == labels["target"]
+
+
+def test_conditional_edges_counted():
+    cfg, _ = cfg_for(
+        """
+        a:
+            cmp rax, 0
+            je b
+            cmp rbx, 0
+            jne a
+        b:
+            ret
+        """
+    )
+    assert cfg.conditional_edges() == 2
+
+
+def test_indirect_jump_has_no_static_successors():
+    cfg, _ = cfg_for("entry:\njmp rax")
+    assert cfg.blocks[0x400000].successors == ()
+
+
+def test_entries_include_symbols():
+    cfg, labels = cfg_for("fn_a:\nret\nfn_b:\nret")
+    assert labels["fn_a"] in cfg.entries
+    assert labels["fn_b"] in cfg.entries
+    assert labels["fn_b"] in cfg.blocks

@@ -1,0 +1,258 @@
+"""End-to-end compiler tests: MC source → binary → emulator → output."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.lowering import LoweringError, lower_program
+from repro.emulator import run_image
+from repro.lang import parse
+
+
+def run_mc(source, step_limit=2_000_000):
+    program = compile_source(source)
+    return run_image(program.image, step_limit=step_limit)
+
+
+def test_return_status():
+    status, _ = run_mc("u64 main() { return 42; }")
+    assert status == 42
+
+
+def test_arithmetic():
+    status, _ = run_mc("u64 main() { return (2 + 3) * 4 - 10 / 2; }")
+    assert status == 15
+
+
+def test_bitwise_and_shifts():
+    status, _ = run_mc("u64 main() { return ((1 << 6) | 0xF) & ~3 ^ 1; }")
+    assert status == ((1 << 6) | 0xF) & ~3 ^ 1
+
+
+def test_variable_shift_loop():
+    status, _ = run_mc("u64 main() { u64 n = 5; return 3 << n; }")
+    assert status == 96
+
+
+def test_modulo():
+    status, _ = run_mc("u64 main() { return 1234 % 100; }")
+    assert status == 34
+
+
+def test_print_decimal():
+    _, out = run_mc("u64 main() { print(12345); print(0); return 0; }")
+    assert out == b"12345\n0\n"
+
+
+def test_print_str():
+    _, out = run_mc('u64 main() { print_str("hello world\\n"); return 0; }')
+    assert out == b"hello world\n"
+
+
+def test_if_else():
+    source = """
+    u64 main() {
+        u64 x = 7;
+        if (x > 5) { return 1; }
+        else { return 2; }
+    }
+    """
+    assert run_mc(source)[0] == 1
+
+
+def test_while_loop_sum():
+    source = """
+    u64 main() {
+        u64 s = 0;
+        u64 i = 1;
+        while (i <= 10) { s += i; i++; }
+        return s;
+    }
+    """
+    assert run_mc(source)[0] == 55
+
+
+def test_for_loop_with_break_continue():
+    source = """
+    u64 main() {
+        u64 s = 0;
+        for (u64 i = 0; i < 100; i++) {
+            if (i % 2 == 1) { continue; }
+            if (i >= 10) { break; }
+            s += i;
+        }
+        return s;
+    }
+    """
+    assert run_mc(source)[0] == 0 + 2 + 4 + 6 + 8
+
+
+def test_function_calls_and_recursion():
+    source = """
+    u64 fib(u64 n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    u64 main() { return fib(12); }
+    """
+    assert run_mc(source)[0] == 144
+
+
+def test_multiple_args():
+    source = """
+    u64 f(u64 a, u64 b, u64 c, u64 d, u64 e, u64 g) {
+        return a + b * 2 + c * 3 + d * 4 + e * 5 + g * 6;
+    }
+    u64 main() { return f(1, 1, 1, 1, 1, 1); }
+    """
+    assert run_mc(source)[0] == 21
+
+
+def test_local_u64_array():
+    source = """
+    u64 main() {
+        u64 a[5];
+        for (u64 i = 0; i < 5; i++) { a[i] = i * i; }
+        u64 s = 0;
+        for (u64 i = 0; i < 5; i++) { s += a[i]; }
+        return s;
+    }
+    """
+    assert run_mc(source)[0] == 0 + 1 + 4 + 9 + 16
+
+
+def test_byte_array_and_strings():
+    source = """
+    u64 main() {
+        u8 buf[8];
+        u8* s = "AB";
+        u64 i = 0;
+        while (s[i] != 0) { buf[i] = s[i] + 1; i++; }
+        buf[i] = 0;
+        print_str(buf);
+        return i;
+    }
+    """
+    status, out = run_mc(source)
+    assert status == 2
+    assert out == b"BC"
+
+
+def test_globals():
+    source = """
+    u64 counter = 10;
+    u64 table[4];
+    u64 bump() { counter = counter + 1; return counter; }
+    u64 main() {
+        bump();
+        bump();
+        table[0] = counter;
+        return table[0];
+    }
+    """
+    assert run_mc(source)[0] == 12
+
+
+def test_pointer_write_through():
+    source = """
+    u64 g = 0;
+    u64 set(u64* p, u64 v) { *p = v; return 0; }
+    u64 main() { set(&g, 99); return g; }
+    """
+    assert run_mc(source)[0] == 99
+
+
+def test_pointer_arithmetic_is_byte_granular():
+    source = """
+    u64 main() {
+        u64 a[2];
+        a[0] = 1;
+        a[1] = 2;
+        u64* p = a;
+        u64* q = p + 8;
+        return *q;
+    }
+    """
+    assert run_mc(source)[0] == 2
+
+
+def test_logical_short_circuit():
+    source = """
+    u64 g = 0;
+    u64 bump() { g = g + 1; return 1; }
+    u64 main() {
+        u64 r = 0 && bump();
+        u64 s = 1 || bump();
+        return g * 10 + r + s;
+    }
+    """
+    assert run_mc(source)[0] == 1  # bump never called; r=0, s=1
+
+
+def test_unary_ops():
+    source = "u64 main() { u64 x = 5; return (~x & 0xFF) + (0 - x) % 7 + !x + !!x; }"
+    status, _ = run_mc(source)
+    assert status == ((~5 & 0xFF) + ((-5) % (1 << 64)) % 7 + 0 + 1)
+
+
+def test_nested_call_args():
+    source = """
+    u64 add(u64 a, u64 b) { return a + b; }
+    u64 main() { return add(add(1, 2), add(3, 4)); }
+    """
+    assert run_mc(source)[0] == 10
+
+
+def test_exit_builtin():
+    status, _ = run_mc("u64 main() { exit(7); return 1; }")
+    assert status == 7
+
+
+def test_unchecked_copy_overflows_like_c():
+    """The vulnerability class the paper exploits: an unchecked copy
+    into a stack buffer really does smash adjacent memory."""
+    source = """
+    u8 src[64];
+    u64 victim() {
+        u64 canary[1];
+        u8 buf[8];
+        canary[0] = 7;
+        u64 i = 0;
+        while (src[i] != 0) { buf[i] = src[i]; i++; }
+        return canary[0];
+    }
+    u64 main() {
+        for (u64 i = 0; i < 32; i++) { src[i] = 65; }
+        src[32] = 0;
+        return victim() & 0xFF;
+    }
+    """
+    status, _ = run_mc(source)
+    # The copy ran past buf's 8 bytes into the adjacent canary array.
+    assert status == 0x41
+
+
+def test_lowering_error_undefined_variable():
+    with pytest.raises(LoweringError):
+        lower_program(parse("u64 main() { return nope; }"))
+
+
+def test_lowering_error_undefined_function():
+    with pytest.raises(LoweringError):
+        lower_program(parse("u64 main() { return nope(); }"))
+
+
+def test_lowering_error_no_main():
+    with pytest.raises(LoweringError):
+        lower_program(parse("u64 f() { return 0; }"))
+
+
+def test_lowering_error_address_of_scalar_local():
+    with pytest.raises(LoweringError):
+        lower_program(parse("u64 main() { u64 x = 1; u64* p = &x; return 0; }"))
+
+
+def test_image_has_function_symbols():
+    program = compile_source("u64 helper() { return 1; } u64 main() { return helper(); }")
+    assert "fn_main" in program.image.symbols
+    assert "fn_helper" in program.image.symbols
+    assert program.image.symbols["fn_main"] != program.image.symbols["fn_helper"]

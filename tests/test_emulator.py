@@ -1,0 +1,462 @@
+"""Tests for the concrete emulator: ALU semantics, stack, control flow,
+syscalls, faults."""
+
+import pytest
+
+from repro.binfmt import STACK_TOP, make_image
+from repro.emulator import (
+    AttackTriggered,
+    DivideError,
+    Emulator,
+    InvalidInstruction,
+    MemoryFault,
+    ProcessExit,
+    StepLimitExceeded,
+    Sys,
+    run_image,
+)
+from repro.isa import Flag, Reg, assemble, assemble_unit
+
+
+def emu_for(source, data=b"", **kwargs):
+    unit = assemble_unit(source, base_addr=0x400000)
+    image = make_image(unit.code, data=data, symbols=unit.labels)
+    return Emulator(image, **kwargs)
+
+
+def run_regs(source, **kwargs):
+    emu = emu_for(source + "\nhlt", **kwargs)
+    with pytest.raises(ProcessExit):
+        while True:
+            emu.step()
+    return emu.cpu
+
+
+def test_mov_and_arith():
+    cpu = run_regs(
+        """
+        mov rax, 10
+        mov rbx, 3
+        add rax, rbx
+        sub rax, 1
+        mul rbx, rax   ; rbx = 3 * 12 = 36
+        """
+    )
+    assert cpu.get(Reg.RAX) == 12
+    assert cpu.get(Reg.RBX) == 36
+
+
+def test_wraparound_64bit():
+    cpu = run_regs(
+        """
+        mov rax, 0xffffffffffffffff
+        add rax, 2
+        """
+    )
+    assert cpu.get(Reg.RAX) == 1
+    assert cpu.flags[Flag.CF]
+
+
+def test_signed_overflow_flag():
+    cpu = run_regs(
+        """
+        mov rax, 0x7fffffffffffffff
+        add rax, 1
+        """
+    )
+    assert cpu.flags[Flag.OF]
+    assert cpu.flags[Flag.SF]
+
+
+def test_logic_ops_clear_cf_of():
+    cpu = run_regs(
+        """
+        mov rax, 0xff00
+        mov rbx, 0x0ff0
+        and rax, rbx
+        """
+    )
+    assert cpu.get(Reg.RAX) == 0x0F00
+    assert not cpu.flags[Flag.CF]
+    assert not cpu.flags[Flag.OF]
+
+
+def test_xor_zero_sets_zf():
+    cpu = run_regs(
+        """
+        mov rax, 123
+        xor rax, 123
+        """
+    )
+    assert cpu.flags[Flag.ZF]
+
+
+def test_shifts():
+    cpu = run_regs(
+        """
+        mov rax, 1
+        shl rax, 4
+        mov rbx, 0x8000000000000000
+        sar rbx, 63
+        mov rcx, 0x10
+        shr rcx, 1
+        """
+    )
+    assert cpu.get(Reg.RAX) == 16
+    assert cpu.get(Reg.RBX) == 0xFFFFFFFFFFFFFFFF
+    assert cpu.get(Reg.RCX) == 8
+
+
+def test_div_mod():
+    cpu = run_regs(
+        """
+        mov rax, 17
+        mov rbx, 5
+        udiv rax, rbx
+        mov rcx, 17
+        umod rcx, rbx
+        """
+    )
+    assert cpu.get(Reg.RAX) == 3
+    assert cpu.get(Reg.RCX) == 2
+
+
+def test_divide_by_zero_raises():
+    emu = emu_for(
+        """
+        mov rax, 1
+        mov rbx, 0
+        udiv rax, rbx
+        """
+    )
+    with pytest.raises(DivideError):
+        for _ in range(5):
+            emu.step()
+
+
+def test_inc_dec_preserve_cf():
+    cpu = run_regs(
+        """
+        mov rax, 0xffffffffffffffff
+        add rax, 1      ; sets CF
+        mov rbx, 5
+        inc rbx
+        """
+    )
+    assert cpu.flags[Flag.CF], "inc must preserve CF"
+
+
+def test_push_pop_and_xchg():
+    cpu = run_regs(
+        """
+        mov rax, 111
+        mov rbx, 222
+        push rax
+        push rbx
+        pop rcx
+        pop rdx
+        xchg rcx, rdx
+        """
+    )
+    assert cpu.get(Reg.RCX) == 111
+    assert cpu.get(Reg.RDX) == 222
+
+
+def test_load_store_data_section():
+    emu = emu_for(
+        """
+        mov rax, 0x600000
+        mov rbx, 0x1234
+        mov [rax+8], rbx
+        mov rcx, [rax+8]
+        hlt
+        """,
+        data=b"\x00" * 64,
+    )
+    emu.run()
+    assert emu.cpu.get(Reg.RCX) == 0x1234
+
+
+def test_byte_load_store():
+    emu = emu_for(
+        """
+        mov rax, 0x600000
+        mov rbx, 0x11FF
+        movb [rax], rbx        ; stores 0xFF only
+        movzxb rcx, [rax]
+        hlt
+        """,
+        data=b"\x00" * 16,
+    )
+    emu.run()
+    assert emu.cpu.get(Reg.RCX) == 0xFF
+
+
+def test_lea_computes_address_without_access():
+    cpu = run_regs(
+        """
+        mov rbx, 0x100
+        lea rax, [rbx+0x20]
+        """
+    )
+    assert cpu.get(Reg.RAX) == 0x120
+
+
+def test_call_ret():
+    cpu = run_regs(
+        """
+            call fn
+            jmp done
+        fn:
+            mov rax, 77
+            ret
+        done:
+        """
+    )
+    assert cpu.get(Reg.RAX) == 77
+
+
+def test_leave_restores_frame():
+    cpu = run_regs(
+        """
+        mov rbp, 0x9999
+        push rbp            ; saved rbp
+        mov rbp, rsp
+        sub rsp, 32
+        mov rbp, rsp
+        add rbp, 32
+        leave
+        """
+    )
+    assert cpu.get(Reg.RBP) == 0x9999
+
+
+def test_conditional_jump_taken_and_not():
+    cpu = run_regs(
+        """
+            mov rax, 5
+            cmp rax, 5
+            je eq
+            mov rbx, 0
+            jmp out
+        eq:
+            mov rbx, 1
+        out:
+            cmp rax, 9
+            jg wrong
+            mov rcx, 2
+            jmp end
+        wrong:
+            mov rcx, 3
+        end:
+        """
+    )
+    assert cpu.get(Reg.RBX) == 1
+    assert cpu.get(Reg.RCX) == 2
+
+
+def test_signed_vs_unsigned_compare():
+    cpu = run_regs(
+        """
+            mov rax, 0xffffffffffffffff   ; -1 signed, huge unsigned
+            cmp rax, 1
+            jl signed_less
+            mov rbx, 0
+            jmp next
+        signed_less:
+            mov rbx, 1
+        next:
+            cmp rax, 1
+            ja unsigned_above
+            mov rcx, 0
+            jmp end
+        unsigned_above:
+            mov rcx, 1
+        end:
+        """
+    )
+    assert cpu.get(Reg.RBX) == 1, "-1 < 1 signed"
+    assert cpu.get(Reg.RCX) == 1, "0xffff... > 1 unsigned"
+
+
+def test_indirect_jumps_register_and_memory():
+    # The jump table lives on the stack: .text is not writable.
+    cpu = run_regs(
+        """
+            mov rax, target
+            jmp rax
+            mov rbx, 999
+        target:
+            mov rbx, 42
+            mov rcx, rsp
+            sub rcx, 64
+            mov rdx, target2
+            mov [rcx], rdx
+            jmp [rcx]
+            mov rsi, 888
+        target2:
+            mov rsi, 7
+        end:
+        """
+    )
+    assert cpu.get(Reg.RBX) == 42
+    assert cpu.get(Reg.RSI) == 7
+
+
+def test_jmp_table_in_data_requires_mapped_memory():
+    emu = emu_for(
+        """
+        mov rax, 0x600000
+        mov rbx, 0x400000
+        mov [rax], rbx
+        jmp [rax]
+        """,
+        data=b"\x00" * 16,
+    )
+    for _ in range(4):
+        emu.step()
+    assert emu.cpu.rip == 0x400000
+
+
+def test_syscall_write_captures_stdout():
+    unit_src = """
+        mov rax, 1          ; write
+        mov rdi, 1          ; fd
+        mov rsi, msg
+        mov rdx, 5
+        syscall
+        mov rax, 60
+        mov rdi, 0
+        syscall
+    msg:
+        .asciz "hello"
+    """
+    unit = assemble_unit(unit_src, base_addr=0x400000)
+    image = make_image(unit.code, symbols=unit.labels)
+    status, stdout = run_image(image)
+    assert status == 0
+    assert stdout == b"hello"
+
+
+def test_execve_raises_attack_triggered():
+    emu = emu_for(
+        """
+        mov rax, 59
+        mov rdi, path
+        mov rsi, 0
+        mov rdx, 0
+        syscall
+    path:
+        .asciz "/bin/sh"
+        """
+    )
+    with pytest.raises(AttackTriggered) as excinfo:
+        emu.run()
+    event = excinfo.value.event
+    assert event.number == Sys.EXECVE
+    assert event.path == b"/bin/sh"
+    assert event.is_shell_spawn()
+
+
+def test_mprotect_event_fields():
+    emu = emu_for(
+        """
+        mov rax, 10
+        mov rdi, 0x600000
+        mov rsi, 0x1000
+        mov rdx, 7
+        syscall
+        """
+    )
+    with pytest.raises(AttackTriggered) as excinfo:
+        emu.run()
+    event = excinfo.value.event
+    assert event.number == Sys.MPROTECT
+    assert event.addr == 0x600000
+    assert event.length == 0x1000
+    assert event.prot == 7
+
+
+def test_mprotect_modelled_when_not_stopping():
+    emu = emu_for(
+        """
+        mov rax, 10
+        mov rdi, 0x600000
+        mov rsi, 0x1000
+        mov rdx, 7
+        syscall
+        mov rax, 60
+        mov rdi, 0
+        syscall
+        """,
+        data=b"\x00" * 16,
+        stop_on_attack=False,
+    )
+    status = emu.run()
+    assert status == 0
+    assert len(emu.syscalls.events) == 1
+
+
+def test_unknown_syscall_returns_enosys():
+    cpu = run_regs(
+        """
+        mov rax, 9999
+        syscall
+        """
+    )
+    assert cpu.get(Reg.RAX) == (-38) & ((1 << 64) - 1)
+
+
+def test_write_to_text_faults():
+    emu = emu_for(
+        """
+        mov rax, 0x400000
+        mov rbx, 1
+        mov [rax], rbx
+        """
+    )
+    with pytest.raises(MemoryFault):
+        for _ in range(3):
+            emu.step()
+
+
+def test_execute_from_data_faults():
+    emu = emu_for(
+        """
+        mov rax, 0x600000
+        jmp rax
+        """,
+        data=b"\x00" * 16,
+    )
+    with pytest.raises(InvalidInstruction):
+        for _ in range(3):
+            emu.step()
+
+
+def test_unmapped_access_faults():
+    emu = emu_for("mov rax, [rbx+0]")
+    emu.cpu.set(Reg.RBX, 0x123456789)
+    with pytest.raises(MemoryFault):
+        emu.step()
+
+
+def test_step_limit():
+    emu = emu_for("loop: jmp loop", step_limit=100)
+    with pytest.raises(StepLimitExceeded):
+        emu.run()
+
+
+def test_stack_initial_rsp_below_top():
+    emu = emu_for("nop")
+    assert emu.cpu.get(Reg.RSP) < STACK_TOP
+
+
+def test_trace_records_instructions():
+    emu = emu_for("mov rax, 1\nmov rbx, 2\nhlt", trace=True)
+    emu.run()
+    assert len(emu.trace) == 3
+
+
+def test_run_catching_attack_returns_none_on_crash():
+    emu = emu_for("mov rax, [rbx]")  # rbx=0 → unmapped
+    assert emu.run_catching_attack() is None

@@ -1,0 +1,97 @@
+"""Tests for the syntactic equation inverter."""
+
+from hypothesis import given, strategies as st
+
+from repro.symex.expr import (
+    MASK64,
+    bv_add,
+    bv_const,
+    bv_mul,
+    bv_neg,
+    bv_not,
+    bv_shl,
+    bv_sub,
+    bv_sym,
+    bv_xor,
+    eval_bv,
+)
+from repro.symex.invert import solve_for
+
+X = bv_sym("x")
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def check_inversion(expr, target):
+    result = solve_for(expr, target)
+    assert result is not None
+    name, value = result
+    assert name == "x"
+    assert eval_bv(expr, {"x": value}) == target & MASK64
+    return value
+
+
+def test_identity():
+    assert check_inversion(X, 42) == 42
+
+
+def test_add_const():
+    check_inversion(bv_add(X, bv_const(5)), 42)
+
+
+def test_sub_const_both_sides():
+    check_inversion(bv_sub(X, bv_const(5)), 10)
+    check_inversion(bv_sub(bv_const(100), X), 10)
+
+
+def test_xor_chain():
+    expr = bv_xor(bv_add(X, bv_const(7)), bv_const(0xFF))
+    check_inversion(expr, 0x1234)
+
+
+def test_not_neg():
+    check_inversion(bv_not(X), 99)
+    check_inversion(bv_neg(X), 99)
+
+
+def test_mul_odd():
+    check_inversion(bv_mul(X, bv_const(33)), 66)
+    check_inversion(bv_mul(X, bv_const(33)), 67)  # still solvable mod 2^64
+
+
+def test_mul_even_rejected():
+    assert solve_for(bv_mul(X, bv_const(2)), 3) is None  # odd target via *2
+
+
+def test_shl_aligned_ok_unaligned_rejected():
+    check_inversion(bv_shl(X, 4), 0x160)
+    assert solve_for(bv_shl(X, 4), 0x161) is None
+
+
+def test_constant_expression_rejected():
+    assert solve_for(bv_const(5), 5) is None
+
+
+def test_two_variable_rejected():
+    assert solve_for(bv_add(X, bv_sym("y")), 1) is None
+
+
+@given(a=U64, b=U64, t=U64)
+def test_property_affine_inversion(a, b, t):
+    expr = bv_add(bv_mul(X, bv_const(a | 1)), bv_const(b))
+    check_inversion(expr, t)
+
+
+@given(consts=st.lists(U64, min_size=1, max_size=6), t=U64)
+def test_property_random_invertible_chains(consts, t):
+    expr = X
+    for i, c in enumerate(consts):
+        kind = i % 4
+        if kind == 0:
+            expr = bv_add(expr, bv_const(c))
+        elif kind == 1:
+            expr = bv_xor(expr, bv_const(c))
+        elif kind == 2:
+            expr = bv_not(expr)
+        else:
+            expr = bv_sub(bv_const(c), expr)
+    check_inversion(expr, t)

@@ -1,0 +1,178 @@
+"""Tests for the MC lexer and parser."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    Binary,
+    Call,
+    For,
+    If,
+    Index,
+    IntLit,
+    LexError,
+    ParseError,
+    Return,
+    StrLit,
+    Unary,
+    Var,
+    While,
+    parse,
+    tokenize,
+)
+
+
+def test_tokenize_basic():
+    tokens = tokenize("u64 x = 42;")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["kw", "ident", "op", "int", "op", "eof"]
+    assert tokens[3].value == 42
+
+
+def test_tokenize_hex_and_char():
+    tokens = tokenize("0xff 'A' '\\n'")
+    assert tokens[0].value == 0xFF
+    assert tokens[1].value == 65
+    assert tokens[2].value == 10
+
+
+def test_tokenize_string_escapes():
+    (tok, _) = tokenize('"a\\n\\x41\\0"')
+    assert tok.bytes_value == b"a\nA\x00"
+
+
+def test_tokenize_comments():
+    tokens = tokenize("1 // comment\n/* block\ncomment */ 2")
+    values = [t.value for t in tokens if t.kind == "int"]
+    assert values == [1, 2]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"abc')
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* nope")
+
+
+def test_parse_function_and_params():
+    prog = parse("u64 add(u64 a, u64 b) { return a + b; }")
+    fn = prog.function("add")
+    assert [p.name for p in fn.params] == ["a", "b"]
+    (ret,) = fn.body
+    assert isinstance(ret, Return)
+    assert isinstance(ret.value, Binary) and ret.value.op == "+"
+
+
+def test_parse_globals():
+    prog = parse("u64 g = 7; u8 buf[32]; u64 main() { return 0; }")
+    assert prog.globals[0].name == "g"
+    assert isinstance(prog.globals[0].init, IntLit)
+    assert prog.globals[1].type.kind == "array"
+    assert prog.globals[1].type.count == 32
+
+
+def test_precedence():
+    prog = parse("u64 main() { return 1 + 2 * 3 == 7; }")
+    (ret,) = prog.function("main").body
+    assert ret.value.op == "=="
+    assert ret.value.lhs.op == "+"
+    assert ret.value.lhs.rhs.op == "*"
+
+
+def test_parse_if_else_chain():
+    prog = parse(
+        """
+        u64 main() {
+            if (1) { return 1; }
+            else if (2) { return 2; }
+            else { return 3; }
+        }
+        """
+    )
+    (stmt,) = prog.function("main").body
+    assert isinstance(stmt, If)
+    assert isinstance(stmt.otherwise[0], If)
+
+
+def test_parse_while_and_for():
+    prog = parse(
+        """
+        u64 main() {
+            u64 s = 0;
+            for (u64 i = 0; i < 10; i++) { s += i; }
+            while (s > 5) { s--; }
+            return s;
+        }
+        """
+    )
+    body = prog.function("main").body
+    assert isinstance(body[1], For)
+    assert isinstance(body[2], While)
+
+
+def test_compound_assignment_desugars():
+    prog = parse("u64 main() { u64 x = 1; x += 2; return x; }")
+    stmt = prog.function("main").body[1]
+    assert isinstance(stmt.expr, Assign)
+    assert isinstance(stmt.expr.value, Binary) and stmt.expr.value.op == "+"
+
+
+def test_increment_desugars():
+    prog = parse("u64 main() { u64 x = 0; ++x; x++; return x; }")
+    for stmt in prog.function("main").body[1:3]:
+        assert isinstance(stmt.expr, Assign)
+
+
+def test_pointers_and_indexing():
+    prog = parse(
+        """
+        u64 main() {
+            u8 buf[8];
+            u8* p = buf;
+            p[0] = 65;
+            *p = 66;
+            return buf[0];
+        }
+        """
+    )
+    body = prog.function("main").body
+    assert isinstance(body[2].expr.target, Index)
+    assert isinstance(body[3].expr.target, Unary)
+
+
+def test_string_literal_expression():
+    prog = parse('u64 main() { print_str("hi"); return 0; }')
+    call = prog.function("main").body[0].expr
+    assert isinstance(call, Call)
+    assert isinstance(call.args[0], StrLit)
+    assert call.args[0].value == b"hi"
+
+
+def test_address_of():
+    prog = parse("u64 g; u64 main() { u64* p = &g; return *p; }")
+    decl = prog.function("main").body[0]
+    assert isinstance(decl.init, Unary) and decl.init.op == "&"
+
+
+def test_logical_operators():
+    prog = parse("u64 main() { return 1 && 0 || 1; }")
+    (ret,) = prog.function("main").body
+    assert ret.value.op == "||"
+
+
+def test_parse_error_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse("u64 main() { return 0 }")
+
+
+def test_parse_error_bad_toplevel():
+    with pytest.raises(ParseError):
+        parse("return 0;")
+
+
+def test_parse_error_call_on_non_name():
+    with pytest.raises(ParseError):
+        parse("u64 main() { return (1)(2); }")

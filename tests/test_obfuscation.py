@@ -1,0 +1,339 @@
+"""Tests for the obfuscation passes.
+
+The master invariant: every configuration is semantics-preserving —
+the obfuscated binary produces the same exit status and stdout as the
+original on the same inputs.  Structural tests then confirm each pass
+actually injects what it claims (junk blocks, dispatchers, bytecode...).
+"""
+
+import pytest
+
+from repro.compiler import lower_program
+from repro.emulator import run_image
+from repro.isa import Op, decode_all
+from repro.lang import parse
+from repro.obfuscation import (
+    CONFIGS,
+    LLVM_OBF,
+    NONE,
+    TIGRESS,
+    BogusControlFlow,
+    ControlFlowFlattening,
+    EncodeData,
+    InstructionSubstitution,
+    Virtualization,
+    build_program,
+    make_opaque_predicate,
+)
+from repro.obfuscation.opaque import GENERATORS
+from repro.compiler.ir import IRFunction
+
+# A program exercising arithmetic, branching, loops, arrays, strings,
+# recursion, globals, and calls — a worst case for pass bugs.
+TEST_PROGRAM = """
+u64 total = 0;
+u64 table[4];
+
+u64 gcd(u64 a, u64 b) {
+    while (b != 0) {
+        u64 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+u64 fib(u64 n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+// fib(5) not fib(5): the Tigress config interprets *bytecode* under a
+// flattened interpreter, so each source op costs hundreds of steps.
+
+u64 hash_str(u8* s) {
+    u64 h = 5381;
+    u64 i = 0;
+    while (s[i] != 0) {
+        h = h * 33 + s[i];
+        i++;
+    }
+    return h;
+}
+
+u64 main() {
+    for (u64 i = 0; i < 4; i++) {
+        table[i] = i * i + 3;
+    }
+    u64 acc = 0;
+    for (u64 i = 0; i < 4; i++) {
+        if (table[i] % 2 == 0) { acc += table[i]; }
+        else { acc ^= table[i]; }
+    }
+    total = gcd(462, 1071) + fib(5) + (hash_str("nfl") & 0xFF) + acc;
+    print(total);
+    print_str("done\\n");
+    return total % 251;
+}
+"""
+
+EXPECTED_STATUS, EXPECTED_OUT = None, None
+
+
+def run_config(config, seed=1, step_limit=30_000_000):
+    program = build_program(TEST_PROGRAM, config, seed=seed)
+    return run_image(program.image, step_limit=step_limit)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_config(NONE)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_semantics_preserved(config_name, baseline):
+    status, out = run_config(CONFIGS[config_name])
+    assert (status, out) == baseline, f"{config_name} changed program behaviour"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_semantics_preserved_across_seeds(seed, baseline):
+    status, out = run_config(LLVM_OBF, seed=seed)
+    assert (status, out) == baseline
+
+
+def test_obfuscation_grows_code():
+    plain = build_program(TEST_PROGRAM, NONE)
+    for name in ("llvm_obf", "tigress"):
+        obf = build_program(TEST_PROGRAM, CONFIGS[name], seed=1)
+        assert len(obf.image.text.data) > len(plain.image.text.data), name
+
+
+def test_llvm_obf_adds_conditional_jumps():
+    from repro.isa.instructions import COND_JUMPS
+
+    def count_cond(program):
+        insns = decode_all_safe(program.image.text.data)
+        return sum(1 for i in insns if i.op in COND_JUMPS)
+
+    plain = build_program(TEST_PROGRAM, NONE)
+    obf = build_program(TEST_PROGRAM, LLVM_OBF, seed=1)
+    assert count_cond(obf) > count_cond(plain) * 2
+
+
+def decode_all_safe(data):
+    from repro.isa import disassemble
+
+    return disassemble(data)
+
+
+# ---------------------------------------------------------------------------
+# Per-pass structural tests
+# ---------------------------------------------------------------------------
+
+
+def _module_for(source=TEST_PROGRAM):
+    return lower_program(parse(source))
+
+
+def test_substitution_rewrites_binops():
+    module = _module_for("u64 main() { u64 a = 3; u64 b = 5; return a + (a ^ b); }")
+    before = sum(len(b.instrs) for b in module.functions["main"].blocks.values())
+    InstructionSubstitution(seed=1, probability=1.0).run(module)
+    after = sum(len(b.instrs) for b in module.functions["main"].blocks.values())
+    assert after > before
+
+
+def test_substitution_rounds_compound():
+    module1 = _module_for("u64 main() { u64 a = 3; return a + 5; }")
+    module2 = _module_for("u64 main() { u64 a = 3; return a + 5; }")
+    InstructionSubstitution(seed=1, probability=1.0, rounds=1).run(module1)
+    InstructionSubstitution(seed=1, probability=1.0, rounds=3).run(module2)
+    size1 = sum(len(b.instrs) for b in module1.functions["main"].blocks.values())
+    size2 = sum(len(b.instrs) for b in module2.functions["main"].blocks.values())
+    assert size2 > size1
+
+
+def test_bogus_cf_adds_blocks():
+    module = _module_for()
+    before = len(module.functions["main"].blocks)
+    BogusControlFlow(seed=1, probability=1.0).run(module)
+    after = len(module.functions["main"].blocks)
+    assert after >= before * 2  # each block gains a real + junk sibling
+
+
+def test_flattening_creates_dispatcher():
+    module = _module_for()
+    fn = module.functions["gcd"]
+    ControlFlowFlattening(seed=1).run(module)
+    labels = set(fn.blocks)
+    assert any(label.startswith("fla_dispatch") for label in labels)
+    assert fn.entry.startswith("fla_entry")
+
+
+def test_flattening_skips_single_block_functions():
+    module = _module_for("u64 main() { return 1; }")
+    entry_before = module.functions["main"].entry
+    ControlFlowFlattening(seed=1).run(module)
+    assert module.functions["main"].entry == entry_before
+
+
+def test_encode_data_hides_literals():
+    module = _module_for("u64 main() { return 123456789; }")
+    EncodeData(seed=1, probability=1.0).run(module)
+    from repro.compiler.ir import Const, Copy, Ret
+
+    consts = []
+    for block in module.functions["main"].blocks.values():
+        for instr in block.instrs:
+            for v in vars(instr).values():
+                if isinstance(v, Const):
+                    consts.append(v.value)
+    assert 123456789 not in consts
+
+
+def test_virtualization_replaces_body_with_interpreter():
+    module = _module_for()
+    Virtualization(seed=1).run(module)
+    assert "__bc_main" in module.global_data
+    main = module.functions["main"]
+    labels = set(main.blocks)
+    assert "vm_fetch" in labels
+    assert any(l.startswith("vm_dispatch") for l in labels)
+
+
+def test_virtualization_bytecode_is_word_aligned():
+    module = _module_for()
+    Virtualization(seed=1).run(module)
+    for name, blob in module.global_data.items():
+        assert len(blob) % 32 == 0, name
+
+
+def test_jit_variant_encodes_bytecode():
+    module_plain = _module_for()
+    module_jit = _module_for()
+    Virtualization(seed=1).run(module_plain)
+    Virtualization(seed=1, encode_bytecode=True).run(module_jit)
+    assert module_plain.global_data["__bc_main"] != module_jit.global_data["__bc_main"]
+    assert "__bc_flag_main" in module_jit.global_vars
+
+
+def test_self_modify_changes_static_text_but_not_behavior(baseline):
+    plain = build_program(TEST_PROGRAM, NONE)
+    sm = build_program(TEST_PROGRAM, CONFIGS["self_modify"], seed=1)
+    # Static bytes differ over the encoded function ranges.
+    assert sm.image.text.data[: len(plain.image.text.data)] != plain.image.text.data
+    assert sm.image.text.writable
+    assert sm.image.entry != plain.image.entry
+    assert run_image(sm.image, step_limit=30_000_000) == baseline
+
+
+def test_passes_are_deterministic_per_seed():
+    a = build_program(TEST_PROGRAM, LLVM_OBF, seed=7)
+    b = build_program(TEST_PROGRAM, LLVM_OBF, seed=7)
+    assert a.image.text.data == b.image.text.data
+    c = build_program(TEST_PROGRAM, LLVM_OBF, seed=8)
+    assert a.image.text.data != c.image.text.data
+
+
+# ---------------------------------------------------------------------------
+# Opaque predicates: solver-verified truth
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.__name__)
+def test_opaque_predicates_have_constant_truth(generator):
+    """Brute-force each predicate's IR over many random inputs: the
+    comparison must always evaluate to its declared truth value."""
+    import random
+
+    from repro.compiler.ir import BinOp, Const, Temp, UnOp
+
+    rng = random.Random(99)
+    fn = IRFunction(name="t", params=[])
+    pred = generator(fn, rng)
+
+    def eval_value(v, env):
+        if isinstance(v, Const):
+            return v.value & ((1 << 64) - 1)
+        return env[v.name]
+
+    mask = (1 << 64) - 1
+    for trial in range(200):
+        env = {}
+        for instr in pred.instrs:
+            if isinstance(instr, BinOp):
+                a = eval_value(instr.lhs, env)
+                b = eval_value(instr.rhs, env)
+                ops = {
+                    "add": a + b,
+                    "sub": a - b,
+                    "mul": a * b,
+                    "and": a & b,
+                    "or": a | b,
+                    "xor": a ^ b,
+                    "shl": a << (b & 63),
+                    "shr": a >> (b & 63),
+                }
+                env[instr.dst.name] = ops[instr.op] & mask
+            elif isinstance(instr, UnOp):
+                a = eval_value(instr.src, env)
+                env[instr.dst.name] = (~a if instr.op == "not" else -a) & mask
+        lhs = eval_value(pred.lhs, env)
+        rhs = eval_value(pred.rhs, env)
+        comparisons = {"eq": lhs == rhs, "ne": lhs != rhs}
+        assert comparisons[pred.op] == pred.truth
+
+
+def test_substitution_identities_proved_by_solver():
+    """Prove each rewriter's identity with the BV solver."""
+    from repro.obfuscation.substitution import REWRITERS
+    from repro.compiler.ir import BinOp, Const, Temp
+    from repro.solver import Solver
+    from repro.symex.expr import (
+        bv_add,
+        bv_and,
+        bv_const,
+        bv_eq,
+        bv_mul,
+        bv_not,
+        bv_neg,
+        bv_or,
+        bv_shl,
+        bv_sub,
+        bv_sym,
+        bv_udiv,
+        bv_umod,
+        bv_xor,
+    )
+    import random
+
+    solver = Solver()
+    semantics = {
+        "add": bv_add,
+        "sub": bv_sub,
+        "mul": bv_mul,
+        "and": bv_and,
+        "or": bv_or,
+        "xor": bv_xor,
+        "udiv": bv_udiv,
+        "umod": bv_umod,
+    }
+    for op, rewriters in REWRITERS.items():
+        for rewriter in rewriters:
+            fn = IRFunction(name="t", params=[])
+            a, b, dst = Temp("a"), Temp("b"), Temp("dst")
+            instrs = rewriter(fn, BinOp(dst, op, a, b), random.Random(0))
+            env = {"a": bv_sym("a"), "b": bv_sym("b")}
+            for instr in instrs:
+                if isinstance(instr, BinOp):
+                    lhs = env[instr.lhs.name] if isinstance(instr.lhs, Temp) else bv_const(instr.lhs.value)
+                    rhs = env[instr.rhs.name] if isinstance(instr.rhs, Temp) else bv_const(instr.rhs.value)
+                    if instr.op == "shl":
+                        env[instr.dst.name] = bv_shl(lhs, rhs.value)
+                    else:
+                        env[instr.dst.name] = semantics[instr.op](lhs, rhs)
+                else:  # UnOp
+                    src = env[instr.src.name] if isinstance(instr.src, Temp) else bv_const(instr.src.value)
+                    env[instr.dst.name] = bv_not(src) if instr.op == "not" else bv_neg(src)
+            expected = semantics[op](bv_sym("a"), bv_sym("b"))
+            assert solver.prove(bv_eq(env["dst"], expected)), f"{op} via {rewriter.__name__}"

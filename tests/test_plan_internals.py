@@ -1,0 +1,163 @@
+"""Unit tests for the partial-plan machinery: orderings, threats,
+causal links, linearization — the α/β/γ/δ/ε bookkeeping of Sec. IV-D."""
+
+import pytest
+
+from repro.binfmt import make_image
+from repro.gadgets import ExtractionConfig, extract_gadgets
+from repro.isa import Reg, assemble_unit
+from repro.planner.conditions import RegCondition
+from repro.planner.plan import GOAL_STEP, OpenCondition, PartialPlan, Step
+
+
+def gadget_pool():
+    unit = assemble_unit(
+        """
+        hlt
+    g_pop_rax:
+        pop rax
+        ret
+    g_pop_rdi:
+        pop rdi
+        ret
+    g_clob_rax:
+        pop rdi
+        mov rax, 0
+        ret
+    g_syscall:
+        syscall
+        ret
+        """,
+        base_addr=0x400000,
+    )
+    image = make_image(unit.code, symbols=dict(unit.labels))
+    records = extract_gadgets(image, ExtractionConfig(probe_unaligned=False))
+    by_label = {}
+    for name, addr in unit.labels.items():
+        for r in records:
+            if r.location == addr:
+                by_label[name] = r
+                break
+    return by_label
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return gadget_pool()
+
+
+def initial_plan(pool, conds):
+    return PartialPlan.initial(
+        pool["g_syscall"],
+        [RegCondition(reg, value) for reg, value in conds],
+        [],
+        [],
+    )
+
+
+def test_initial_plan_shape(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 59), (Reg.RDI, 0)])
+    assert plan.num_steps == 1
+    assert len(plan.open_conds) == 2
+    assert not plan.is_complete
+    assert GOAL_STEP in plan.steps
+
+
+def test_add_provider_resolves_condition(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 59)])
+    oc = plan.open_conds[0]
+    new = plan.add_provider_step(pool["g_pop_rax"], oc, [], [])
+    assert new is not None
+    assert new.is_complete
+    assert new.num_steps == 2
+    assert len(new.links) == 1
+    link = new.links[0]
+    assert link.consumer == GOAL_STEP
+    assert link.condition.reg == Reg.RAX
+
+
+def test_ordering_cycle_rejected(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 59)])
+    oc = plan.open_conds[0]
+    new = plan.add_provider_step(pool["g_pop_rax"], oc, [], [])
+    (provider_sid,) = [s for s in new.steps if s != GOAL_STEP]
+    assert new.with_ordering(GOAL_STEP, provider_sid) is None  # would cycle
+    same = new.with_ordering(provider_sid, GOAL_STEP)
+    assert same is not None  # already present → no-op
+
+
+def test_threat_resolution_orders_clobberer(pool):
+    """g_clob_rax clobbers rax; it must be ordered before g_pop_rax
+    (the rax provider) to keep the rax causal link safe."""
+    plan = initial_plan(pool, [(Reg.RAX, 59), (Reg.RDI, 7)])
+    rax_cond = next(c for c in plan.open_conds if c.condition.reg == Reg.RAX)
+    with_rax = plan.add_provider_step(pool["g_pop_rax"], rax_cond, [], [])
+    rax_sid = max(with_rax.steps)
+    rdi_cond = next(c for c in with_rax.open_conds if c.condition.reg == Reg.RDI)
+    final = with_rax.add_provider_step(pool["g_clob_rax"], rdi_cond, [], [])
+    assert final is not None
+    clob_sid = max(final.steps)
+    # Threat resolved: the clobberer cannot sit between provider and goal.
+    assert not final.possibly_between(clob_sid, rax_sid, GOAL_STEP)
+    order = final.linearize()
+    assert order.index(clob_sid) < order.index(rax_sid)
+
+
+def test_linearize_goal_last(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 59)])
+    oc = plan.open_conds[0]
+    new = plan.add_provider_step(pool["g_pop_rax"], oc, [], [])
+    order = new.linearize()
+    assert order[-1] == GOAL_STEP
+
+
+def test_established_values_tracks_links(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 59)])
+    oc = plan.open_conds[0]
+    new = plan.add_provider_step(pool["g_pop_rax"], oc, [], [])
+    established = new.established_values()
+    assert established[GOAL_STEP][Reg.RAX] == 59
+
+
+def test_priority_key_prefers_fewer_open_conds(pool):
+    two = initial_plan(pool, [(Reg.RAX, 59), (Reg.RDI, 0)])
+    one = initial_plan(pool, [(Reg.RAX, 59)])
+    assert one.priority_key() < two.priority_key()
+
+
+def test_reuse_provider_step_adds_link(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 1), (Reg.RDI, 2)])
+    rax_cond = next(c for c in plan.open_conds if c.condition.reg == Reg.RAX)
+    with_step = plan.add_provider_step(pool["g_pop_rax"], rax_cond, [], [])
+    sid = max(with_step.steps)
+    rdi_cond = next(c for c in with_step.open_conds if c.condition.reg == Reg.RDI)
+    # g_pop_rax does not clobber rdi, but the API accepts any reuse;
+    # here we just confirm the bookkeeping.
+    reused = with_step.reuse_provider_step(sid, rdi_cond)
+    assert reused is not None
+    assert reused.is_complete
+    assert len(reused.links) == 2
+
+
+def test_clone_isolation(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 59)])
+    clone = plan.clone()
+    oc = clone.open_conds[0]
+    grown = clone.add_provider_step(pool["g_pop_rax"], oc, [], [])
+    assert plan.num_steps == 1
+    assert grown.num_steps == 2
+    assert len(plan.open_conds) == 1
+
+
+def test_immediate_pre_goal_linearization(pool):
+    plan = initial_plan(pool, [(Reg.RAX, 59), (Reg.RDI, 7)])
+    rax_cond = next(c for c in plan.open_conds if c.condition.reg == Reg.RAX)
+    p1 = plan.add_provider_step(pool["g_pop_rax"], rax_cond, [], [])
+    rax_sid = max(p1.steps)
+    rdi_cond = next(c for c in p1.open_conds if c.condition.reg == Reg.RDI)
+    p2 = p1.add_provider_step(pool["g_pop_rdi"], rdi_cond, [], [])
+    rdi_sid = max(p2.steps)
+    p2.immediate_pre_goal = rdi_sid
+    order = p2.linearize()
+    assert order[-1] == GOAL_STEP
+    assert order[-2] == rdi_sid

@@ -1,0 +1,304 @@
+"""Tests for the symbolic executor: path endings, conditional forking,
+direct-jump merging, memory modelling — plus a differential property
+test pitting the symbolic semantics against the concrete emulator."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.binfmt import make_image
+from repro.emulator import Emulator
+from repro.isa import Instruction, Op, Reg, assemble_unit, encode_program
+from repro.symex import (
+    EndKind,
+    bv_add,
+    bv_const,
+    eval_bv,
+    execute_paths,
+    reg_sym,
+    stack_sym,
+)
+from repro.symex.expr import BVConst, free_symbols
+from repro.symex.state import is_controlled_symbol
+
+
+def paths_for(source, start_label=None, **kwargs):
+    unit = assemble_unit(source, base_addr=0x400000)
+    start = unit.labels[start_label] if start_label else 0x400000
+    return execute_paths(unit.code, 0x400000, start, **kwargs)
+
+
+def test_pop_ret_semantics():
+    (path,) = paths_for("pop rax\nret")
+    assert path.end is EndKind.RET
+    assert path.state.get(Reg.RAX) == stack_sym(0)
+    assert path.jump_target == stack_sym(8)
+    # rsp advanced by 16: one pop, one ret
+    assert path.state.get(Reg.RSP) == bv_add(reg_sym(Reg.RSP), bv_const(16))
+
+
+def test_mov_const_then_jmp_reg():
+    (path,) = paths_for("mov rax, 59\nmov rbx, target\njmp rbx\ntarget: ret")
+    assert path.end is EndKind.JMP_REG
+    assert path.state.get(Reg.RAX) == bv_const(59)
+    assert isinstance(path.jump_target, BVConst)
+
+
+def test_jmp_mem_target_is_wild_load():
+    (path,) = paths_for("jmp [rax+8]")
+    assert path.end is EndKind.JMP_MEM
+    # Target came from uncontrolled memory → a wild symbol.
+    syms = free_symbols(path.jump_target)
+    assert any(s.startswith("mem") for s in syms)
+
+
+def test_call_reg_pushes_return_address():
+    (path,) = paths_for("call rax")
+    assert path.end is EndKind.CALL_REG
+    assert path.jump_target == reg_sym(Reg.RAX)
+    writes = path.state.stack_writes()
+    assert -8 in writes  # return address stored below initial rsp
+    assert isinstance(writes[-8], BVConst)
+
+
+def test_syscall_terminates_path():
+    (path,) = paths_for("mov rax, 59\nsyscall")
+    assert path.end is EndKind.SYSCALL
+    assert path.state.get(Reg.RAX) == bv_const(59)
+
+
+def test_direct_jump_merging():
+    """The paper: gadgets ending in a direct jmp merge with the target."""
+    (path,) = paths_for(
+        """
+        entry:
+            pop rdi
+            jmp tail
+            nop
+        tail:
+            pop rsi
+            ret
+        """,
+        start_label="entry",
+    )
+    assert path.end is EndKind.RET
+    assert path.merged_direct_jumps == 1
+    assert path.state.get(Reg.RDI) == stack_sym(0)
+    assert path.state.get(Reg.RSI) == stack_sym(8)
+    assert path.jump_target == stack_sym(16)
+
+
+def test_conditional_jump_forks_two_paths():
+    """Fig. 4(b): a conditional jump in the middle produces a
+    fall-through path constrained by rdx == rbx and a taken path
+    constrained by rdx != rbx."""
+    paths = paths_for(
+        """
+        entry:
+            pop rax
+            cmp rdx, rbx
+            jne out
+            pop rbx
+            ret
+        out:
+            ret
+        """,
+        start_label="entry",
+    )
+    assert len(paths) == 2
+    by_constraints = {str(p.state.constraints[0]): p for p in paths if p.state.constraints}
+    assert len(by_constraints) == 2
+    keys = set(by_constraints)
+    assert any("==" in k for k in keys)
+    assert any("!=" in k for k in keys)
+    fallthrough = by_constraints[[k for k in keys if "==" in k][0]]
+    assert fallthrough.state.get(Reg.RBX) == stack_sym(8)
+
+
+def test_statically_resolved_condition_no_fork():
+    """xor rax, rax ; jz → condition folds to a constant, no fork."""
+    paths = paths_for(
+        """
+        entry:
+            xor rax, rax
+            test rax, rax
+            je taken
+            ret
+        taken:
+            pop rbx
+            ret
+        """,
+        start_label="entry",
+    )
+    assert len(paths) == 1
+    assert paths[0].state.get(Reg.RBX) == stack_sym(0)
+
+
+def test_conditional_taken_path_via_cmp_immediate():
+    """Fig. 4(c): first half ends with a Jcc that must be taken."""
+    paths = paths_for(
+        """
+        entry:
+            pop rcx
+            cmp rcx, 0
+            je second
+            hlt
+        second:
+            pop rdx
+            ret
+        """,
+        start_label="entry",
+    )
+    usable = [p for p in paths if p.is_usable]
+    assert len(usable) == 1
+    (p,) = usable
+    assert p.end is EndKind.RET
+    # Precondition: the popped value must be zero.
+    assert any("==" in str(c) for c in p.state.constraints)
+    assert p.state.get(Reg.RDX) == stack_sym(8)
+
+
+def test_dead_path_on_decode_failure():
+    code = encode_program([Instruction(op=Op.POP_R, dst=Reg.RAX)]) + b"\xef\xef"
+    paths = execute_paths(code, 0x400000, 0x400000)
+    assert all(p.end is EndKind.DEAD for p in paths)
+
+
+def test_max_insns_budget():
+    source = "\n".join(["nop"] * 50) + "\nret"
+    unit = assemble_unit(source, base_addr=0x400000)
+    paths = execute_paths(unit.code, 0x400000, 0x400000, max_insns=10)
+    assert all(p.end is EndKind.DEAD for p in paths)
+
+
+def test_stack_smashed_flag():
+    (path,) = paths_for("mov rsp, rax\nret")
+    assert path.state.stack_smashed
+
+
+def test_write_gadget_effect_recorded():
+    (path,) = paths_for("mov [rdi+0], rsi\nret")
+    writes = [w for w in path.state.mem_writes if w.stack_offset is None]
+    assert len(writes) == 1
+    assert writes[0].addr == reg_sym(Reg.RDI)
+    assert writes[0].value == reg_sym(Reg.RSI)
+
+
+def test_read_over_write_on_stack():
+    (path,) = paths_for("push rax\npop rbx\nret")
+    assert path.state.get(Reg.RBX) == reg_sym(Reg.RAX)
+
+
+def test_leave_semantics():
+    (path,) = paths_for("leave\nret")
+    # rsp := rbp; rbp := [rbp]; ret target := [rbp+8]
+    assert path.end is EndKind.RET
+    syms = free_symbols(path.state.get(Reg.RBP))
+    assert any(s.startswith("mem") for s in syms)
+
+
+def test_controlled_symbols_classification():
+    assert is_controlled_symbol("stk0")
+    assert is_controlled_symbol("stk24")
+    assert not is_controlled_symbol("stkm8")
+    assert not is_controlled_symbol("rax0")
+    assert not is_controlled_symbol("mem3")
+
+
+def test_max_stack_offset_tracks_payload_length():
+    (path,) = paths_for("pop rax\npop rbx\npop rcx\nret")
+    assert path.state.max_stack_offset_read == 24  # ret read at offset 24
+
+
+# ---------------------------------------------------------------------------
+# Differential testing: symbolic semantics == concrete semantics
+# ---------------------------------------------------------------------------
+
+SAFE_REGS = [r for r in Reg if r not in (Reg.RSP,)]
+
+
+def _random_straightline(rng, length):
+    """A random sequence of straight-line instructions (no control flow,
+    no wild memory) suitable for differential testing."""
+    insns = []
+    stack_depth = 0
+    for _ in range(length):
+        choice = rng.randrange(12)
+        dst = rng.choice(SAFE_REGS)
+        src = rng.choice(SAFE_REGS)
+        if choice == 0:
+            insns.append(Instruction(op=Op.MOV_RI, dst=dst, imm=rng.getrandbits(64)))
+        elif choice == 1:
+            insns.append(Instruction(op=Op.MOV_RR, dst=dst, src=src))
+        elif choice == 2:
+            op = rng.choice([Op.ADD_RR, Op.SUB_RR, Op.AND_RR, Op.OR_RR, Op.XOR_RR, Op.MUL_RR])
+            insns.append(Instruction(op=op, dst=dst, src=src))
+        elif choice == 3:
+            op = rng.choice([Op.ADD_RI, Op.SUB_RI, Op.AND_RI, Op.OR_RI, Op.XOR_RI])
+            insns.append(Instruction(op=op, dst=dst, imm=rng.randrange(-(1 << 20), 1 << 20)))
+        elif choice == 4:
+            op = rng.choice([Op.SHL_RI, Op.SHR_RI, Op.SAR_RI])
+            insns.append(Instruction(op=op, dst=dst, imm=rng.randrange(64)))
+        elif choice == 5:
+            insns.append(Instruction(op=rng.choice([Op.NOT_R, Op.NEG_R, Op.INC_R, Op.DEC_R]), dst=dst))
+        elif choice == 6:
+            insns.append(Instruction(op=Op.XCHG, dst=dst, src=src))
+        elif choice == 7:
+            insns.append(Instruction(op=Op.PUSH_R, dst=dst))
+            stack_depth += 1
+        elif choice == 8 and stack_depth > 0:
+            insns.append(Instruction(op=Op.POP_R, dst=dst))
+            stack_depth -= 1
+        elif choice == 9:
+            insns.append(Instruction(op=Op.LEA, dst=dst, base=src, disp=rng.randrange(-64, 64)))
+        elif choice == 10:
+            # Aligned stack load within the pre-initialized window.
+            disp = 8 * rng.randrange(8, 16)
+            insns.append(Instruction(op=Op.LOAD, dst=dst, base=Reg.RSP, disp=disp))
+        else:
+            op = rng.choice([Op.CMP_RR, Op.TEST_RR])
+            insns.append(Instruction(op=op, dst=dst, src=src))
+    # Unwind any outstanding pushes so ret reads the sentinel slot area.
+    for _ in range(stack_depth):
+        insns.append(Instruction(op=Op.POP_R, dst=rng.choice(SAFE_REGS)))
+    insns.append(Instruction(op=Op.RET))
+    return insns
+
+
+@settings(deadline=None, max_examples=60)
+@given(seed=st.integers(min_value=0, max_value=10_000), length=st.integers(1, 14))
+def test_property_symbolic_matches_concrete(seed, length):
+    rng = random.Random(seed)
+    insns = _random_straightline(rng, length)
+    code = encode_program(insns)
+    # hlt lands right after the code; ret jumps to it via the sentinel.
+    hlt_addr = 0x400000 + len(code)
+    code += bytes([int(Op.HLT)])
+
+    image = make_image(code)
+    emu = Emulator(image)
+    init_regs = {r: rng.getrandbits(64) for r in SAFE_REGS}
+    for r, v in init_regs.items():
+        emu.cpu.set(r, v)
+    rsp0 = emu.cpu.get(Reg.RSP)
+    # Concrete payload on the stack: sentinel return address + random words.
+    stack_words = {}
+    emu.memory.write_u64(rsp0, hlt_addr)
+    stack_words[0] = hlt_addr
+    for k in range(1, 20):
+        value = rng.getrandbits(64)
+        emu.memory.write_u64(rsp0 + 8 * k, value)
+        stack_words[8 * k] = value
+    assert emu.run() == 0  # hlt exits with status 0
+
+    (path,) = execute_paths(code, 0x400000, 0x400000, max_insns=64)
+    assert path.end is EndKind.RET
+    env = {f"{r}0": v for r, v in init_regs.items()}
+    env["rsp0"] = rsp0
+    for off, value in stack_words.items():
+        env[f"stk{off}"] = value
+    for r in SAFE_REGS:
+        sym_val = eval_bv(path.state.get(r), env)
+        assert sym_val == emu.cpu.get(r), f"{r} diverged on seed={seed}"
+    assert eval_bv(path.state.get(Reg.RSP), env) == emu.cpu.get(Reg.RSP)
+    assert eval_bv(path.jump_target, env) == hlt_addr

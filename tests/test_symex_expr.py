@@ -1,0 +1,232 @@
+"""Tests for the bit-vector expression language: folding, substitution,
+evaluation, and property-based consistency with Python integer semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.symex.expr import (
+    BVBin,
+    BVBinOp,
+    BVConst,
+    BVSym,
+    MASK64,
+    TRUE,
+    FALSE,
+    BoolConst,
+    CmpOp,
+    bool_and,
+    bool_not,
+    bool_or,
+    bv_add,
+    bv_and,
+    bv_const,
+    bv_eq,
+    bv_ite,
+    bv_mul,
+    bv_ne,
+    bv_neg,
+    bv_not,
+    bv_or,
+    bv_sar,
+    bv_shl,
+    bv_shr,
+    bv_sub,
+    bv_sym,
+    bv_udiv,
+    bv_umod,
+    bv_xor,
+    cmp,
+    eval_bool,
+    eval_bv,
+    expr_size,
+    free_symbols,
+    substitute,
+)
+
+X = bv_sym("x")
+Y = bv_sym("y")
+
+
+def test_constant_folding_add():
+    assert bv_add(bv_const(2), bv_const(3)) == bv_const(5)
+
+
+def test_add_zero_identity():
+    assert bv_add(X, bv_const(0)) is X
+    assert bv_add(bv_const(0), X) is X
+
+
+def test_add_chains_flatten():
+    e = bv_add(bv_add(X, bv_const(8)), bv_const(8))
+    assert e == bv_add(X, bv_const(16))
+
+
+def test_sub_self_is_zero():
+    assert bv_sub(X, X) == bv_const(0)
+
+
+def test_sub_const_becomes_add():
+    e = bv_sub(X, bv_const(8))
+    assert isinstance(e, BVBin) and e.op == BVBinOp.ADD
+    assert eval_bv(e, {"x": 10}) == 2
+
+
+def test_xor_self_is_zero():
+    assert bv_xor(X, X) == bv_const(0)
+
+
+def test_and_identities():
+    assert bv_and(X, bv_const(MASK64)) is X
+    assert bv_and(X, bv_const(0)) == bv_const(0)
+
+
+def test_or_identities():
+    assert bv_or(X, bv_const(0)) is X
+    assert bv_or(X, bv_const(MASK64)) == bv_const(MASK64)
+
+
+def test_mul_identities():
+    assert bv_mul(X, bv_const(1)) is X
+    assert bv_mul(X, bv_const(0)) == bv_const(0)
+
+
+def test_umod_power_of_two_becomes_and():
+    e = bv_umod(X, bv_const(8))
+    assert e == bv_and(X, bv_const(7))
+
+
+def test_udiv_power_of_two_becomes_shift():
+    e = bv_udiv(X, bv_const(16))
+    assert e == bv_shr(X, 4)
+
+
+def test_double_not_cancels():
+    assert bv_not(bv_not(X)) is X
+    assert bv_neg(bv_neg(X)) is X
+
+
+def test_ite_folding():
+    assert bv_ite(TRUE, X, Y) is X
+    assert bv_ite(FALSE, X, Y) is Y
+    assert bv_ite(bv_eq(X, Y), X, X) is X
+
+
+def test_cmp_folding():
+    assert bv_eq(bv_const(3), bv_const(3)) == TRUE
+    assert bv_ne(bv_const(3), bv_const(3)) == FALSE
+    assert bv_eq(X, X) == TRUE
+    assert cmp(CmpOp.ULT, X, X) == FALSE
+
+
+def test_signed_compare_folding():
+    minus_one = bv_const(MASK64)
+    assert cmp(CmpOp.SLT, minus_one, bv_const(1)) == TRUE
+    assert cmp(CmpOp.ULT, minus_one, bv_const(1)) == FALSE
+
+
+def test_bool_connectives():
+    p = bv_eq(X, bv_const(1))
+    assert bool_and(TRUE, p) == p
+    assert bool_and(FALSE, p) == FALSE
+    assert bool_or(TRUE, p) == TRUE
+    assert bool_or(FALSE, p) == p
+    assert bool_not(bool_not(p)) == p
+
+
+def test_bool_and_flattens_and_dedups():
+    p = bv_eq(X, bv_const(1))
+    q = bv_eq(Y, bv_const(2))
+    e = bool_and(bool_and(p, q), p)
+    assert e == bool_and(p, q)
+
+
+def test_not_cmp_negates_operator():
+    e = bool_not(bv_eq(X, Y))
+    assert e == bv_ne(X, Y)
+
+
+def test_free_symbols():
+    e = bv_add(X, bv_mul(Y, bv_const(3)))
+    assert free_symbols(e) == {"x", "y"}
+
+
+def test_expr_size():
+    assert expr_size(X) == 1
+    assert expr_size(bv_add(X, Y)) == 3
+
+
+def test_substitute_triggers_folding():
+    e = bv_add(X, Y)
+    out = substitute(e, {"x": bv_const(1), "y": bv_const(2)})
+    assert out == bv_const(3)
+
+
+def test_substitute_bool():
+    e = bv_eq(bv_add(X, bv_const(1)), bv_const(3))
+    assert substitute(e, {"x": bv_const(2)}) == TRUE
+
+
+def test_eval_with_env():
+    e = bv_sub(bv_mul(X, bv_const(3)), Y)
+    assert eval_bv(e, {"x": 5, "y": 5}) == 10
+
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+@given(a=U64, b=U64)
+def test_property_fold_matches_python(a, b):
+    ca, cb = bv_const(a), bv_const(b)
+    assert eval_bv(bv_add(ca, cb), {}) == (a + b) & MASK64
+    assert eval_bv(bv_sub(ca, cb), {}) == (a - b) & MASK64
+    assert eval_bv(bv_mul(ca, cb), {}) == (a * b) & MASK64
+    assert eval_bv(bv_and(ca, cb), {}) == a & b
+    assert eval_bv(bv_or(ca, cb), {}) == a | b
+    assert eval_bv(bv_xor(ca, cb), {}) == a ^ b
+    if b:
+        assert eval_bv(bv_udiv(ca, cb), {}) == a // b
+        assert eval_bv(bv_umod(ca, cb), {}) == a % b
+
+
+@given(a=U64, k=st.integers(min_value=0, max_value=63))
+def test_property_shifts_match_python(a, k):
+    ca = bv_const(a)
+    assert eval_bv(bv_shl(ca, k), {}) == (a << k) & MASK64
+    assert eval_bv(bv_shr(ca, k), {}) == a >> k
+    signed = a - (1 << 64) if a >> 63 else a
+    assert eval_bv(bv_sar(ca, k), {}) == (signed >> k) & MASK64
+
+
+@given(a=U64, b=U64, x=U64)
+def test_property_substitution_commutes_with_eval(a, b, x):
+    """eval(subst(e)) == eval(e) for any binding of the same values."""
+    e = bv_add(bv_xor(X, bv_const(a)), bv_mul(Y, bv_const(b)))
+    env = {"x": x, "y": a}
+    direct = eval_bv(e, env)
+    substituted = substitute(e, {"x": bv_const(x), "y": bv_const(a)})
+    assert eval_bv(substituted, {}) == direct
+
+
+@given(x=U64, y=U64)
+def test_property_simplifications_sound(x, y):
+    """Smart-constructor rewrites never change the value."""
+    env = {"x": x, "y": y}
+    pairs = [
+        (bv_umod(X, bv_const(8)), x % 8),
+        (bv_udiv(X, bv_const(16)), x // 16),
+        (bv_sub(X, bv_const(5)), (x - 5) & MASK64),
+        (bv_add(bv_add(X, bv_const(7)), bv_const(9)), (x + 16) & MASK64),
+        (bv_not(bv_not(X)), x),
+    ]
+    for expr, expected in pairs:
+        assert eval_bv(expr, env) == expected
+
+
+@given(x=U64, y=U64)
+def test_property_compare_semantics(x, y):
+    env = {"x": x, "y": y}
+    sx = x - (1 << 64) if x >> 63 else x
+    sy = y - (1 << 64) if y >> 63 else y
+    assert eval_bool(cmp(CmpOp.ULT, X, Y), env) == (x < y)
+    assert eval_bool(cmp(CmpOp.SLT, X, Y), env) == (sx < sy)
+    assert eval_bool(cmp(CmpOp.SLE, X, Y), env) == (sx <= sy)
+    assert eval_bool(bool_not(cmp(CmpOp.EQ, X, Y)), env) == (x != y)
