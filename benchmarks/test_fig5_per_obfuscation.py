@@ -13,7 +13,6 @@ methods create payloads the original lacks, and self-modification
 (packing) *hides* static attack surface rather than adding it.
 """
 
-import pytest
 
 from repro.bench import fig5_per_method, format_fig5, run_tool
 

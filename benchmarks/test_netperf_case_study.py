@@ -5,9 +5,8 @@ netperf; at least one delivers end-to-end through the real ``-a``
 argument overflow (Fig. 8's execve chain spawning a shell).
 """
 
-import pytest
 
-from repro.bench import BENCH_EXTRACTION, BENCH_PLANNER
+from repro.bench import BENCH_EXTRACTION
 from repro.bench.netperf import (
     build_exploit_argument,
     find_overflow_offset,

@@ -8,12 +8,7 @@ GP ≥ SGC ≥ angrop ≥ ROPGadget, and GP gains payloads under obfuscation
 
 import pytest
 
-from repro.bench import (
-    MAIN_CONFIGS,
-    TOOL_NAMES,
-    format_table4,
-    table4_tool_comparison,
-)
+from repro.bench import MAIN_CONFIGS, format_table4, table4_tool_comparison
 
 #: A four-program slice keeps the full 3×4 matrix tractable; the cap
 #: (BENCH_EXTRACTION.max_candidates) is reported in EXPERIMENTS.md.

@@ -5,7 +5,6 @@ Gadget-Planner uses all gadget families (Ret/IJ/DJ/CJ), builds the
 longest chains, and uses the longest gadgets.
 """
 
-import pytest
 
 from repro.bench import (
     collect_payloads_by_tool,

@@ -5,7 +5,6 @@ the baselines cannot, on both original and obfuscated builds; baselines
 mostly report 0–1 chains while GP's counts grow with obfuscation.
 """
 
-import pytest
 
 from repro.bench import format_table6, table6_spec
 

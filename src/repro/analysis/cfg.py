@@ -11,7 +11,7 @@ each basic block"), on top of its unaligned probing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..binfmt.image import BinaryImage
 from ..isa.encoding import DecodeError, decode
@@ -74,8 +74,17 @@ def _successor_addrs(insn: Instruction) -> Tuple[List[int], bool]:
     return [], True  # non-terminator
 
 
-def recover_cfg(image: BinaryImage) -> CFG:
-    """Recover basic blocks over the image's text section."""
+def recover_cfg(
+    image: BinaryImage,
+    *,
+    decoder: Optional[Callable[[int], Optional[Instruction]]] = None,
+) -> CFG:
+    """Recover basic blocks over the image's text section.
+
+    ``decoder`` (addr → Instruction|None) lets callers share a decode
+    cache — gadget extraction passes its ``DecodeGraph`` so the section
+    is not decoded a second time.
+    """
     text = image.text
     data = text.data
     base = text.addr
@@ -83,11 +92,13 @@ def recover_cfg(image: BinaryImage) -> CFG:
     def in_text(addr: int) -> bool:
         return base <= addr < base + len(data)
 
-    def decode_at(addr: int) -> Optional[Instruction]:
+    def _decode_fresh(addr: int) -> Optional[Instruction]:
         try:
             return decode(data, addr - base, addr=addr)
         except DecodeError:
             return None
+
+    decode_at = decoder if decoder is not None else _decode_fresh
 
     entries = {addr for name, addr in image.symbols.items() if in_text(addr)}
     entries.add(image.entry)

@@ -16,8 +16,8 @@ from typing import Dict, List, Optional, Tuple
 from ..binfmt.image import BinaryImage
 from ..isa.registers import Reg
 from ..symex.executor import EndKind
-from ..symex.expr import BVConst, BVSym, free_symbols
-from ..symex.state import is_controlled_symbol, reg_sym, stack_sym_offset
+from ..symex.expr import BVSym
+from ..symex.state import stack_sym_offset
 from ..gadgets.extract import ExtractionConfig, extract_gadgets
 from ..gadgets.record import GadgetRecord
 from ..planner.goals import ResolvedGoal

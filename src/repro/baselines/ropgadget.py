@@ -11,7 +11,6 @@ Faithful to the strategy the paper critiques (Sec. III / VI):
 
 from __future__ import annotations
 
-import struct
 from typing import Dict, List, Optional, Tuple
 
 from ..binfmt.image import BinaryImage
@@ -20,9 +19,9 @@ from ..isa.instructions import Instruction, Op
 from ..isa.registers import Reg
 from ..gadgets.classify import SyntacticGadget, scan_syntactic_gadgets
 from ..gadgets.record import GadgetRecord, JmpType
-from ..gadgets.extract import ExtractionConfig, extract_gadgets
+from ..gadgets.extract import extract_gadgets
 from ..planner.goals import ResolvedGoal
-from ..planner.payload import FILLER_WORD, AttackPayload
+from ..planner.payload import AttackPayload
 from .common import BaselineTool
 
 

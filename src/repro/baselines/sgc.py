@@ -20,7 +20,7 @@ from ..binfmt.image import BinaryImage
 from ..isa.registers import Reg
 from ..solver.solver import Solver
 from ..symex.executor import EndKind
-from ..symex.expr import BVConst, bv_const, bv_eq, free_symbols
+from ..symex.expr import free_symbols
 from ..symex.state import is_controlled_symbol
 from ..gadgets.extract import ExtractionConfig, extract_gadgets
 from ..gadgets.record import GadgetRecord

@@ -15,25 +15,18 @@ EXPERIMENTS.md for paper-vs-measured values).
 
 from __future__ import annotations
 
-import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from ..baselines import AngropLike, BaselineReport, ROPGadgetLike, SGCLike
+from ..baselines import AngropLike, ROPGadgetLike, SGCLike
 from ..compiler.link import LinkedProgram
 from ..emulator.cpu import run_image
 from ..gadgets.classify import count_by_type, scan_syntactic_gadgets
 from ..gadgets.extract import ExtractionConfig
 from ..gadgets.record import JmpType
-from ..obfuscation.pipeline import (
-    CONFIGS,
-    NONE,
-    SINGLE_METHOD_CONFIGS,
-    ObfuscationConfig,
-    build_program,
-)
-from ..planner import GadgetPlanner, PlannerConfig, PlannerReport
+from ..obfuscation.pipeline import CONFIGS, SINGLE_METHOD_CONFIGS, build_program
+from ..planner import GadgetPlanner, PlannerConfig
 from ..planner.payload import AttackPayload
 from .programs import BENCHMARK_SUITE, CORE_SUITE, BenchProgram
 from .spec_programs import SPEC_SUITE

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..binfmt.image import BinaryImage
 from ..compiler.link import LinkedProgram
 from ..emulator.cpu import Emulator
 from ..emulator.syscalls import SyscallEvent
@@ -148,6 +147,21 @@ def run_netperf_with_arg(
     emu.memory.write_u64(len_addr, len(arg))
     event = emu.run_catching_attack()
     return emu, event
+
+
+def locate_overflow() -> "List[OverflowFinding]":
+    """Statically locate the ``break_args`` bug in the client source.
+
+    Runs the abstract-interpretation overflow checker
+    (:func:`repro.staticanalysis.check_module_source`) over the
+    compiled IR of :data:`NETPERF_SOURCE`.  No function names, buffer
+    names, or addresses are special-cased — the checker flags the two
+    16-byte stack buffers on its own, which is how an analyst knows
+    where to aim :func:`find_overflow_offset`'s cyclic pattern.
+    """
+    from ..staticanalysis import check_module_source
+
+    return check_module_source(NETPERF_SOURCE)
 
 
 def find_overflow_offset(linked: LinkedProgram, *, max_len: int = 2400) -> Optional[int]:

@@ -6,8 +6,10 @@
     nfl run prog.nflf [--step-limit N]
     nfl disasm prog.nflf [--start ADDR] [--count N]
     nfl gadgets prog.nflf [--types]
+    nfl census prog.nflf [--static]
     nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--max-plans N]
     nfl study prog.mc [--configs none,llvm_obf,...]
+    nfl lint prog.mc [--sources optarg,recv,...]
 
 Every subcommand works on NFLF images produced by ``nfl cc`` (or by
 :func:`repro.obfuscation.build_program` programmatically).
@@ -22,10 +24,16 @@ from typing import List, Optional
 
 from .binfmt.image import BinaryImage
 from .emulator.cpu import run_image
-from .gadgets.classify import count_by_type, scan_syntactic_gadgets
+from .gadgets.classify import count_by_type, scan_syntactic_gadgets, semantic_census
 from .gadgets.extract import ExtractionConfig
+from .staticanalysis import (
+    DEFAULT_SOURCES,
+    check_module_source,
+    format_findings,
+    format_metrics,
+)
 from .isa.disassembler import disassemble_lines
-from .obfuscation.pipeline import CONFIGS, NONE, build_program
+from .obfuscation.pipeline import CONFIGS, build_program
 from .planner import (
     GadgetPlanner,
     PlannerConfig,
@@ -81,6 +89,24 @@ def cmd_gadgets(args: argparse.Namespace) -> int:
         for g in gadgets[: args.list]:
             print(f"  {g.addr:#x}: " + "; ".join(str(i) for i in g.insns))
     return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    image = _load_image(args.binary)
+    gadgets = scan_syntactic_gadgets(image, max_insns=args.max_insns)
+    print(f"{len(gadgets)} syntactic gadgets")
+    if args.static:
+        metrics = semantic_census(image, max_insns=args.max_insns)
+        print(format_metrics(metrics))
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    source = Path(args.source).read_text()
+    sources = tuple(args.sources.split(",")) if args.sources else DEFAULT_SOURCES
+    findings = check_module_source(source, sources=sources)
+    print(format_findings(findings))
+    return 1 if findings else 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
@@ -159,6 +185,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", type=int, default=0, help="print the first N gadgets")
     p.add_argument("--max-insns", type=int, default=8)
     p.set_defaults(func=cmd_gadgets)
+
+    p = sub.add_parser("census", help="gadget-set quality census (static dataflow)")
+    p.add_argument("binary")
+    p.add_argument("--static", action="store_true", help="add semantic window metrics")
+    p.add_argument("--max-insns", type=int, default=8)
+    p.set_defaults(func=cmd_census)
+
+    p = sub.add_parser("lint", help="static overflow checker for MC source")
+    p.add_argument("source")
+    p.add_argument("--sources", help="comma-separated attacker-input name prefixes")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("plan", help="run Gadget-Planner against a binary")
     p.add_argument("binary")

@@ -11,8 +11,8 @@ interpreter loop.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 
 # ---------------------------------------------------------------------------
@@ -152,6 +152,25 @@ class CallInstr(IRInstr):
         return f"{prefix}call {self.func}({args})"
 
 
+def instr_defs(instr: IRInstr) -> Tuple[Temp, ...]:
+    """Temporaries written by ``instr`` (0 or 1 in the current IR)."""
+    dst = getattr(instr, "dst", None)
+    return (dst,) if isinstance(dst, Temp) else ()
+
+
+def instr_uses(instr: IRInstr) -> Tuple[Value, ...]:
+    """Values read by ``instr``, in field order."""
+    out: List[Value] = []
+    for name, f in vars(instr).items():
+        if name == "dst":
+            continue
+        if isinstance(f, tuple):
+            out.extend(x for x in f if isinstance(x, (Temp, Const)))
+        elif isinstance(f, (Temp, Const)):
+            out.append(f)
+    return tuple(out)
+
+
 # ---------------------------------------------------------------------------
 # Terminators
 # ---------------------------------------------------------------------------
@@ -190,6 +209,15 @@ class Ret(Terminator):
 
     def __str__(self) -> str:
         return f"ret {self.value}" if self.value is not None else "ret"
+
+
+def terminator_uses(term: Optional[Terminator]) -> Tuple[Value, ...]:
+    """Values read by a terminator."""
+    if isinstance(term, Branch):
+        return (term.lhs, term.rhs)
+    if isinstance(term, Ret) and term.value is not None:
+        return (term.value,)
+    return ()
 
 
 # ---------------------------------------------------------------------------
@@ -257,18 +285,12 @@ class IRFunction:
 
         for block in self.blocks.values():
             for instr in block.instrs:
-                for f in vars(instr).values():
-                    if isinstance(f, tuple):
-                        for x in f:
-                            visit(x)
-                    else:
-                        visit(f)
-            t = block.terminator
-            if isinstance(t, Branch):
-                visit(t.lhs)
-                visit(t.rhs)
-            elif isinstance(t, Ret) and t.value is not None:
-                visit(t.value)
+                for v in instr_defs(instr):
+                    visit(v)
+                for v in instr_uses(instr):
+                    visit(v)
+            for v in terminator_uses(block.terminator):
+                visit(v)
         for p in self.params:
             seen.setdefault(p, Temp(p))
         return list(seen.values())

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..binfmt.image import BinaryImage, DATA_BASE, TEXT_BASE, make_image
 from ..isa.assembler import assemble_unit

@@ -38,7 +38,6 @@ from .ir import (
     Temp,
     UnOp,
     Value,
-    negate_cmp,
 )
 
 #: Functions provided by the runtime, not defined in MC source.

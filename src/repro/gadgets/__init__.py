@@ -5,14 +5,22 @@ from .classify import (
     classify_window,
     count_by_type,
     scan_syntactic_gadgets,
+    semantic_census,
     total_gadgets,
 )
-from .extract import ExtractionConfig, candidate_offsets, extract_gadgets, syntactic_scan
+from .extract import (
+    ExtractionConfig,
+    ExtractionStats,
+    candidate_offsets,
+    extract_gadgets,
+    syntactic_scan,
+)
 from .record import GadgetRecord, JmpType, record_from_path
 from .subsumption import SubsumptionStats, deduplicate_gadgets, fingerprint, subsumes
 
 __all__ = [
     "ExtractionConfig",
+    "ExtractionStats",
     "GadgetRecord",
     "JmpType",
     "SubsumptionStats",
@@ -25,6 +33,7 @@ __all__ = [
     "fingerprint",
     "record_from_path",
     "scan_syntactic_gadgets",
+    "semantic_census",
     "subsumes",
     "syntactic_scan",
     "total_gadgets",

@@ -10,7 +10,7 @@ gadgets is easy while *using* them is not.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..binfmt.image import BinaryImage
@@ -103,3 +103,35 @@ def count_by_type(gadgets: List[SyntacticGadget]) -> Dict[JmpType, int]:
 def total_gadgets(image: BinaryImage, **kwargs) -> int:
     """Fig. 1's headline number for one binary."""
     return len(scan_syntactic_gadgets(image, **kwargs))
+
+
+def semantic_census(
+    image: BinaryImage, *, max_insns: int = 8, max_steps: int = 128
+) -> "GadgetSetMetrics":
+    """Brown-et-al-style gadget-set quality metrics, solver-free.
+
+    Where :func:`scan_syntactic_gadgets` counts windows (the Fig. 1
+    view this module exists for), the semantic census *summarises* them:
+    every byte offset that can reach an indirect transfer within
+    ``max_insns`` instructions gets a static dataflow
+    :class:`~repro.staticanalysis.WindowSummary`, and the aggregate
+    reports functional diversity and special-purpose gadget counts —
+    the "is this gadget set actually usable?" question raw counts
+    cannot answer.
+    """
+    from ..staticanalysis.decode_graph import DecodeGraph
+    from ..staticanalysis.metrics import GadgetSetMetrics, compute_metrics
+    from ..staticanalysis.window import WindowAnalyzer
+
+    text = image.text
+    graph = DecodeGraph(text.data, text.addr)
+    analyzer = WindowAnalyzer(graph, max_insns=max_insns, max_steps=max_steps)
+    dist = graph.dist_to_transfer
+    summaries = (
+        analyzer.summarize(text.addr + offset)
+        for offset in range(len(text.data))
+        if dist[offset] != -1 and dist[offset] <= max_insns
+    )
+    metrics = compute_metrics(summaries)
+    metrics.total_windows = len(text.data)
+    return metrics

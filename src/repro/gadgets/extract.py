@@ -10,21 +10,32 @@ Candidate start addresses come from two sources, matching Sec. IV-B:
   decodes to an indirect-transfer-terminated window (the strategy that
   "can detect unaligned instructions").
 
-A cheap syntactic prefilter culls offsets that cannot reach an indirect
-transfer; survivors get full symbolic execution, and each usable path
-becomes one Table II record (so a window with a conditional jump yields
-several records, one per feasible side — Fig. 4's distinct feature).
+Three stages of filtering feed the symbolic executor:
+
+1. a cheap syntactic prefilter (``syntactic_scan``) culls offsets that
+   cannot reach an indirect transfer under the configured walk rules;
+2. a *semantic* prefilter (``staticanalysis.WindowAnalyzer``) culls
+   survivors whose decode-graph distance to any indirect transfer
+   exceeds the window budget — a sound proof that symbolic execution
+   would yield only DEAD paths, so the gadget pool is unchanged;
+3. survivors get full symbolic execution, and each usable path becomes
+   one Table II record (so a window with a conditional jump yields
+   several records, one per feasible side — Fig. 4's distinct feature).
+
+All three stages share one :class:`~repro.staticanalysis.DecodeGraph`,
+so every byte of the section is decoded exactly once per extraction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from ..analysis.cfg import recover_cfg
 from ..binfmt.image import BinaryImage
-from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import Op
+from ..staticanalysis.decode_graph import DecodeGraph
+from ..staticanalysis.window import WindowAnalyzer
 from ..symex.executor import SymbolicExecutor
 from .record import GadgetRecord, record_from_path
 
@@ -43,13 +54,57 @@ class ExtractionConfig:
     merge_direct_jumps: bool = True  # ablation knob
     max_candidates: Optional[int] = None  # cap for huge binaries
     max_scan_steps: int = 48  # syntactic prefilter depth
+    semantic_prefilter: bool = True  # ablation knob (sound: pool unchanged)
 
 
-def syntactic_scan(code: bytes, base: int, offset: int, config: ExtractionConfig) -> bool:
+@dataclass
+class ExtractionStats:
+    """Observability for the extraction stage (filled if passed in)."""
+
+    candidates: int = 0  # after the syntactic stage
+    semantically_culled: int = 0  # candidates the prefilter removed
+    symex_invocations: int = 0  # windows actually executed symbolically
+    records: int = 0
+
+    @property
+    def cull_ratio(self) -> float:
+        return self.semantically_culled / self.candidates if self.candidates else 0.0
+
+
+def syntactic_scan(
+    code: bytes,
+    base: int,
+    offset: int,
+    config: ExtractionConfig,
+    graph: Optional[DecodeGraph] = None,
+) -> bool:
     """Cheap prefilter: can *some* walk from ``offset`` reach an indirect
     transfer within budget?  Conditional jumps explore both sides (a
     bounded DFS) — essential on flattened code, where nearly every path
-    to a ``ret`` goes through dispatcher compare-and-branch chains."""
+    to a ``ret`` goes through dispatcher compare-and-branch chains.
+
+    With a shared ``graph``, offsets that can *never* reach a transfer
+    under the configured walk rules are rejected without walking, and
+    the DFS reuses the graph's decode cache; the accept/reject result
+    is identical either way.
+    """
+    if graph is not None:
+        reachable = graph.ever_reaches(
+            merge_direct_jumps=config.merge_direct_jumps,
+            include_conditional=config.include_conditional,
+        )
+        if offset not in reachable:
+            return False
+        decode_at = graph.decode_at
+    else:
+        from ..isa.encoding import DecodeError, decode
+
+        def decode_at(cursor: int):
+            try:
+                return decode(code, cursor, addr=base + cursor)
+            except DecodeError:
+                return None
+
     work: List[int] = [offset]
     seen: Set[int] = set()
     while work and len(seen) < config.max_scan_steps:
@@ -57,9 +112,8 @@ def syntactic_scan(code: bytes, base: int, offset: int, config: ExtractionConfig
         if cursor in seen or not 0 <= cursor < len(code):
             continue
         seen.add(cursor)
-        try:
-            insn = decode(code, cursor, addr=base + cursor)
-        except DecodeError:
+        insn = decode_at(cursor)
+        if insn is None:
             continue
         if insn.op in _INDIRECT_ENDS:
             return True
@@ -77,14 +131,18 @@ def syntactic_scan(code: bytes, base: int, offset: int, config: ExtractionConfig
     return False
 
 
-def candidate_offsets(image: BinaryImage, config: ExtractionConfig) -> List[int]:
+def candidate_offsets(
+    image: BinaryImage,
+    config: ExtractionConfig,
+    graph: Optional[DecodeGraph] = None,
+) -> List[int]:
     """Candidate start addresses, aligned probes first."""
     text = image.text
     code = text.data
     base = text.addr
     aligned: List[int] = []
     seen: Set[int] = set()
-    cfg = recover_cfg(image)
+    cfg = recover_cfg(image, decoder=graph.decode_addr if graph is not None else None)
     for block in cfg.blocks.values():
         for insn in block.instructions:
             if insn.addr not in seen:
@@ -96,8 +154,8 @@ def candidate_offsets(image: BinaryImage, config: ExtractionConfig) -> List[int]
             addr = base + offset
             if addr not in seen:
                 unaligned.append(addr)
-    candidates = [a for a in aligned if syntactic_scan(code, base, a - base, config)]
-    candidates += [a for a in unaligned if syntactic_scan(code, base, a - base, config)]
+    candidates = [a for a in aligned if syntactic_scan(code, base, a - base, config, graph)]
+    candidates += [a for a in unaligned if syntactic_scan(code, base, a - base, config, graph)]
     if config.max_candidates is not None and len(candidates) > config.max_candidates:
         # Sample evenly instead of truncating, so the cap preserves the
         # aligned/unaligned mix and spans the whole text section.
@@ -107,20 +165,44 @@ def candidate_offsets(image: BinaryImage, config: ExtractionConfig) -> List[int]
 
 
 def extract_gadgets(
-    image: BinaryImage, config: Optional[ExtractionConfig] = None
+    image: BinaryImage,
+    config: Optional[ExtractionConfig] = None,
+    stats: Optional[ExtractionStats] = None,
 ) -> List[GadgetRecord]:
-    """Run the full extraction stage over an image."""
+    """Run the full extraction stage over an image.
+
+    When ``config.semantic_prefilter`` is on, candidates whose decode
+    graph proves them transfer-unreachable within the window budget are
+    skipped before symbolic execution.  The prefilter runs *after* the
+    candidate list is fixed (including ``max_candidates`` sampling), so
+    it changes which windows are executed, never which are considered —
+    with identical record output either way, gadget ids included,
+    because culled windows contribute zero usable paths.
+    """
     config = config or ExtractionConfig()
     text = image.text
+    graph = DecodeGraph(text.data, text.addr)
     executor = SymbolicExecutor(
         text.data,
         text.addr,
         max_insns=config.max_insns,
         max_paths=config.max_paths if config.include_conditional else 1,
     )
+    executor.preload_decode_cache(graph.addr_decode_cache())
+    candidates = candidate_offsets(image, config, graph)
+    if stats is not None:
+        stats.candidates = len(candidates)
+    if config.semantic_prefilter:
+        analyzer = WindowAnalyzer(graph, max_insns=config.max_insns)
+        kept = [a for a in candidates if analyzer.reaches_transfer(a)]
+        if stats is not None:
+            stats.semantically_culled = len(candidates) - len(kept)
+        candidates = kept
     records: List[GadgetRecord] = []
     gadget_id = 0
-    for addr in candidate_offsets(image, config):
+    for addr in candidates:
+        if stats is not None:
+            stats.symex_invocations += 1
         for path in executor.execute_paths(addr):
             if not path.is_usable:
                 continue
@@ -130,4 +212,6 @@ def extract_gadgets(
                 continue
             records.append(record_from_path(gadget_id, path))
             gadget_id += 1
+    if stats is not None:
+        stats.records = len(records)
     return records

@@ -9,13 +9,13 @@ symbolic jump target)."""
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
 
 from ..isa.instructions import Instruction
 from ..isa.registers import ALL_REGS, Reg
 from ..symex.executor import EndKind, PathSummary
-from ..symex.expr import BV, Bool, BVConst, free_symbols
+from ..symex.expr import BV, Bool, free_symbols
 from ..symex.state import MemRead, MemWrite, is_controlled_symbol, reg_sym
 
 

@@ -34,21 +34,12 @@ from __future__ import annotations
 
 import hashlib
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..isa.registers import ALL_REGS, Reg
+from ..isa.registers import ALL_REGS
 from ..solver.solver import Solver
-from ..symex.expr import (
-    BV,
-    Bool,
-    bool_and,
-    bool_not,
-    bv_eq,
-    eval_bool,
-    eval_bv,
-    free_symbols,
-)
+from ..symex.expr import Bool, bool_and, bool_not, bv_eq, eval_bool, eval_bv
 from .record import GadgetRecord
 
 _NUM_PROBES = 4

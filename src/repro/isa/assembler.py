@@ -31,7 +31,7 @@ from __future__ import annotations
 import re
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from .encoding import encode
 from .instructions import Instruction, Op, OperandLayout, OP_TABLE

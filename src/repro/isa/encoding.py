@@ -33,8 +33,8 @@ def _pack_i32(value: int) -> bytes:
 
 def _reg_byte(hi: Reg | None, lo: Reg | None) -> int:
     h = int(hi) if hi is not None else 0
-    l = int(lo) if lo is not None else 0
-    return ((h & 0xF) << 4) | (l & 0xF)
+    low = int(lo) if lo is not None else 0
+    return ((h & 0xF) << 4) | (low & 0xF)
 
 
 def encode(insn: Instruction) -> bytes:

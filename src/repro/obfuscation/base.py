@@ -9,8 +9,7 @@ seed, so every experiment in the paper reproduction is replayable.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable
 
 from ..compiler.ir import IRFunction, IRModule
 

@@ -13,18 +13,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from ..compiler.ir import (
-    BinOp,
-    Block,
-    Branch,
-    Const,
-    IRFunction,
-    IRInstr,
-    IRModule,
-    Jump,
-    Temp,
-    UnOp,
-)
+from ..compiler.ir import BinOp, Branch, Const, IRFunction, IRInstr, IRModule, Jump, UnOp
 from .base import ObfuscationPass
 from .opaque import make_always_true
 

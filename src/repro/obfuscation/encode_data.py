@@ -14,11 +14,10 @@ are left alone to avoid exploding hot loops."""
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from ..compiler.ir import (
     BinOp,
-    Branch,
     CallInstr,
     CmpSet,
     Const,
@@ -26,11 +25,8 @@ from ..compiler.ir import (
     IRFunction,
     IRInstr,
     IRModule,
-    Load,
-    Ret,
     Store,
     Temp,
-    UnOp,
     Value,
 )
 from .base import ObfuscationPass

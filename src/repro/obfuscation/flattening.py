@@ -7,20 +7,9 @@ Kiss 2009].  Block IDs are randomized per function."""
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List
+from typing import Dict
 
-from ..compiler.ir import (
-    Block,
-    Branch,
-    Const,
-    Copy,
-    IRFunction,
-    IRModule,
-    Jump,
-    Ret,
-    Temp,
-)
+from ..compiler.ir import Branch, Const, Copy, IRFunction, IRModule, Jump, Ret
 from .base import ObfuscationPass
 
 

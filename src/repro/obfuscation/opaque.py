@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
-from ..compiler.ir import BinOp, Const, IRFunction, IRInstr, Temp, Value
+from ..compiler.ir import BinOp, Const, IRFunction, IRInstr, Value
 
 
 @dataclass(frozen=True)

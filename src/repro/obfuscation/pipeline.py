@@ -13,8 +13,8 @@ used in Sec. III/VI plus one configuration per individual obfuscation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..compiler import LinkedProgram, link_module, lower_program
 from ..lang import parse

@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..binfmt.image import BinaryImage, SCRATCH_SIZE, Section
+from ..binfmt.image import BinaryImage, Section
 from ..compiler.link import LinkedProgram
 from ..isa.assembler import assemble_unit
 
@@ -43,12 +43,12 @@ def _decoder_stub(ranges: Sequence[Tuple[int, int]], key: int, resume: int, base
             f"    mov rax, {start}",
             f"    mov rbx, {end}",
             f"__sm_loop{i}:",
-            f"    cmp rax, rbx",
+            "    cmp rax, rbx",
             f"    jae __sm_done{i}",
-            f"    movzxb rcx, [rax]",
+            "    movzxb rcx, [rax]",
             f"    xor rcx, {key}",
-            f"    movb [rax], rcx",
-            f"    add rax, 1",
+            "    movb [rax], rcx",
+            "    add rax, 1",
             f"    jmp __sm_loop{i}",
             f"__sm_done{i}:",
         ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List
 
-from ..compiler.ir import BinOp, Const, IRFunction, IRInstr, IRModule, Temp, UnOp, Value
+from ..compiler.ir import BinOp, Const, IRFunction, IRInstr, IRModule, UnOp
 from .base import ObfuscationPass
 
 Rewriter = Callable[[IRFunction, BinOp, random.Random], List[IRInstr]]

@@ -35,7 +35,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..compiler.ir import (
     AddrOfGlobal,
@@ -58,7 +58,6 @@ from ..compiler.ir import (
     UnOp,
     Value,
 )
-from ..compiler.lowering import BUILTINS
 from .base import ObfuscationPass
 
 # -- opcode numbering --------------------------------------------------------

@@ -26,7 +26,6 @@ from typing import Dict, List, Optional, Sequence
 from ..binfmt.image import BinaryImage
 from ..solver.solver import Solver
 from ..gadgets.extract import ExtractionConfig, extract_gadgets
-from ..gadgets.record import GadgetRecord
 from ..gadgets.subsumption import SubsumptionStats, deduplicate_gadgets
 from .conditions import MemCondition, RegCondition
 from .goals import (

@@ -21,7 +21,7 @@ initial flags cannot provide conditions reliably and are rejected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..isa.registers import Reg, reg_by_name
 from ..solver.solver import Solver
@@ -35,7 +35,7 @@ from ..symex.expr import (
     free_symbols,
     substitute,
 )
-from ..symex.state import is_controlled_symbol, stack_sym_offset
+from ..symex.state import is_controlled_symbol
 from ..gadgets.record import GadgetRecord
 
 

@@ -11,11 +11,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..isa.registers import ALL_REGS, Reg
+from ..isa.registers import Reg
 from ..symex.executor import EndKind
 from ..symex.expr import BVConst, BVSym, free_symbols
 from ..symex.state import is_controlled_symbol
-from ..gadgets.record import GadgetRecord, JmpType
+from ..gadgets.record import GadgetRecord
 
 
 class ChainKind(enum.Enum):

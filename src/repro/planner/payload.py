@@ -17,20 +17,20 @@ reported by the benchmarks is a count of *validated* payloads.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from ..binfmt.image import BinaryImage, STACK_SIZE, STACK_TOP
+from ..binfmt.image import BinaryImage
 from ..emulator.cpu import Emulator
 from ..emulator.memory import PERM_R, PERM_W
 from ..emulator.syscalls import AttackTriggered, SyscallEvent
 from ..isa.registers import ALL_REGS, Reg
 from ..solver.solver import Solver
-from ..symex.expr import BV, BVConst, Bool, bv_const, bv_eq, bv_sym, free_symbols, substitute
+from ..symex.expr import BV, Bool, bv_const, bv_eq, bv_sym, free_symbols, substitute
 from ..symex.state import stack_sym_offset
 from ..gadgets.record import GadgetRecord
 from .goals import ResolvedGoal
-from .plan import GOAL_STEP, PartialPlan
+from .plan import PartialPlan
 
 FILLER_WORD = 0x4141414141414141
 #: A mapped scratch page junk registers point at, so that dead wild

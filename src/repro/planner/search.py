@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from ..solver.solver import Solver
-from ..symex.expr import BVConst
 from .conditions import (
     MemCondition,
     RegCondition,

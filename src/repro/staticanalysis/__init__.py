@@ -1,0 +1,41 @@
+"""Abstract-interpretation static analysis layer.
+
+Two engines over one abstract-domain core (:mod:`.domain`):
+
+* the **window dataflow analysis** (:mod:`.decode_graph`,
+  :mod:`.window`, :mod:`.metrics`) — per-candidate
+  :class:`~.window.WindowSummary` values used as a sound semantic
+  prefilter in gadget extraction and for solver-free gadget-set quality
+  metrics;
+* the **mini-C overflow checker** (:mod:`.taint`, :mod:`.lint`) — the
+  taint/interval analysis behind ``nfl lint`` that discovers the
+  netperf ``break_args`` bug instead of hardcoding it.
+"""
+
+from .decode_graph import DecodeGraph
+from .domain import BOT, Const, InitReg, Interval, TOP, Tribool
+from .lint import check_module_source, format_findings
+from .metrics import GadgetSetMetrics, classify_summary, compute_metrics, format_metrics
+from .taint import DEFAULT_SOURCES, ModuleChecker, OverflowFinding
+from .window import WindowAnalyzer, WindowSummary
+
+__all__ = [
+    "BOT",
+    "Const",
+    "DecodeGraph",
+    "DEFAULT_SOURCES",
+    "GadgetSetMetrics",
+    "InitReg",
+    "Interval",
+    "ModuleChecker",
+    "OverflowFinding",
+    "TOP",
+    "Tribool",
+    "WindowAnalyzer",
+    "WindowSummary",
+    "check_module_source",
+    "classify_summary",
+    "compute_metrics",
+    "format_findings",
+    "format_metrics",
+]

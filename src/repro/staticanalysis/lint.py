@@ -1,0 +1,33 @@
+"""`nfl lint` driver: run the overflow checker on mini-C source.
+
+Thin front end over :mod:`.taint`: parse, lower, check, format.  Kept
+separate so `bench/netperf.py` and the CLI share one entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..compiler.lowering import lower_program
+from ..lang import parse
+from .taint import DEFAULT_SOURCES, ModuleChecker, OverflowFinding
+
+
+def check_module_source(
+    source: str, *, sources: Iterable[str] = DEFAULT_SOURCES
+) -> List[OverflowFinding]:
+    """Parse + lower mini-C ``source`` and return overflow findings."""
+    module = lower_program(parse(source))
+    checker = ModuleChecker(module, sources=sources)
+    findings = checker.check()
+    return sorted(findings, key=lambda f: (f.function, f.buffer, f.callee or ""))
+
+
+def format_findings(findings: List[OverflowFinding]) -> str:
+    """Human-readable report, one block per finding."""
+    if not findings:
+        return "no overflow findings"
+    lines = [f"{len(findings)} overflow finding(s):"]
+    for i, finding in enumerate(findings, 1):
+        lines.append(f"  [{i}] {finding.describe()}")
+    return "\n".join(lines)

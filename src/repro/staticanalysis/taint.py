@@ -1,0 +1,599 @@
+"""Taint + interval analysis over mini-C IR: the overflow checker.
+
+The checker walks an :class:`~repro.compiler.ir.IRModule` looking for
+the CWE-121 shape the paper's netperf case study exploits: a copy loop
+that moves attacker-controlled bytes into a fixed-size buffer with no
+bound on the write offset.
+
+Per-temp abstract values (:class:`AVal`) combine three facts:
+
+* **taint** — a set of source tokens.  Module-level sources are global
+  variables whose names match the configured attacker-controlled
+  prefixes (``optarg``/``argv``/...); inside a function, parameter
+  values and the memory behind parameter pointers carry placeholder
+  tokens (``param:p`` / ``*param:p``) that call sites later translate.
+* **interval** — an unsigned range for index arithmetic, with widening
+  at loop joins and refinement on ``Branch`` comparisons (so a write
+  guarded by ``i < 64`` into a 64-byte buffer stays clean).
+* **points-to** — which local array / global / parameter pointer the
+  value may address, with an offset interval.
+
+Functions are summarised bottom-up over the call graph: writes through
+parameter pointers become :class:`ParamWrite` entries that call sites
+replay against their actual arguments, which is how the overflow inside
+``break_args`` surfaces as findings on the caller's 16-byte stack
+buffers — no function names or addresses are special-cased anywhere.
+Recursive call cycles are handled conservatively (no summary: argument
+taint flows to the result, no writes are replayed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..compiler import ir
+from .domain import INF, Interval
+
+#: Default attacker-controlled input name prefixes.  A global variable
+#: whose name starts with one of these is a taint source (this also
+#: covers companion length scalars such as ``optarg_len``).
+DEFAULT_SOURCES = ("optarg", "argv", "recv", "input", "stdin")
+
+#: How many times a block is re-analysed with plain joins before the
+#: analysis switches to widening.
+_WIDEN_AFTER = 2
+
+_PARAM_VALUE = "param:"
+_PARAM_CONTENT = "*param:"
+
+Taint = FrozenSet[str]
+_NO_TAINT: Taint = frozenset()
+
+#: A points-to target: (kind, name, offset interval) with kind one of
+#: "local" | "global" | "param".
+Region = Tuple[str, str, Interval]
+
+
+def _merge_pts(
+    a: FrozenSet[Region], b: FrozenSet[Region], widen: bool
+) -> FrozenSet[Region]:
+    """Union two points-to sets, merging same-target regions' offset
+    intervals so loops over a moving pointer converge."""
+    if a == b:
+        return a
+    by_target: Dict[Tuple[str, str], Interval] = {}
+    for kind, name, off in a:
+        key = (kind, name)
+        old = by_target.get(key)
+        by_target[key] = off if old is None else old.join(off)
+    for kind, name, off in b:
+        key = (kind, name)
+        old = by_target.get(key)
+        if old is None:
+            by_target[key] = off
+        else:
+            by_target[key] = old.widen(off) if widen else old.join(off)
+    return frozenset((kind, name, off) for (kind, name), off in by_target.items())
+
+
+@dataclass(frozen=True)
+class AVal:
+    """Abstract value of one temp: taint, range, and points-to set."""
+
+    taint: Taint = _NO_TAINT
+    interval: Interval = Interval.top()
+    pts: FrozenSet[Region] = frozenset()
+
+    def join(self, other: "AVal") -> "AVal":
+        return AVal(
+            taint=self.taint | other.taint,
+            interval=self.interval.join(other.interval),
+            pts=_merge_pts(self.pts, other.pts, widen=False),
+        )
+
+    def widen(self, other: "AVal") -> "AVal":
+        return AVal(
+            taint=self.taint | other.taint,
+            interval=self.interval.widen(other.interval),
+            pts=_merge_pts(self.pts, other.pts, widen=True),
+        )
+
+
+_UNKNOWN = AVal()
+
+
+@dataclass(frozen=True)
+class ParamWrite:
+    """Summary entry: a function writes through parameter ``param`` at
+    ``offset`` (relative to the pointer) with the given taints."""
+
+    param: str
+    offset: Interval
+    width: int
+    value_taint: Taint
+    addr_taint: Taint
+
+
+@dataclass
+class FunctionSummary:
+    """Bottom-up interprocedural summary of one IR function."""
+
+    name: str
+    param_writes: List[ParamWrite] = field(default_factory=list)
+    ret_taint: Taint = _NO_TAINT
+
+
+@dataclass(frozen=True)
+class OverflowFinding:
+    """One potential unchecked-copy stack/global buffer overflow."""
+
+    function: str  # function the overflowed buffer belongs to
+    buffer: str  # region name (e.g. "arg1.1" for a local array)
+    buffer_kind: str  # "local" | "global"
+    buffer_size: int
+    width: int  # width of the out-of-bounds store
+    offset: Interval  # write offset range relative to the buffer
+    sources: Taint  # taint tokens that reach the write
+    callee: Optional[str] = None  # function doing the write, if not direct
+
+    def describe(self) -> str:
+        where = f"{self.function}(): {self.buffer_kind} buffer '{self.buffer}'"
+        via = f" via {self.callee}()" if self.callee else ""
+        srcs = ", ".join(sorted(self.sources)) or "<untainted>"
+        return (
+            f"{where} ({self.buffer_size} bytes) written at offsets "
+            f"{self.offset}{via}; attacker data from: {srcs}"
+        )
+
+
+def _param_value_token(param: str) -> str:
+    return f"{_PARAM_VALUE}{param}"
+
+
+def _param_content_token(param: str) -> str:
+    return f"{_PARAM_CONTENT}{param}"
+
+
+class ModuleChecker:
+    """Runs the overflow analysis over a whole IR module."""
+
+    def __init__(
+        self, module: ir.IRModule, *, sources: Iterable[str] = DEFAULT_SOURCES
+    ) -> None:
+        self.module = module
+        self.sources = tuple(sources)
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.findings: List[OverflowFinding] = []
+        #: May-taint of data stored into global/local regions so far.
+        self._global_content: Dict[str, Taint] = {}
+        self._finding_keys: Set[Tuple] = set()
+
+    # -- sources ----------------------------------------------------------
+
+    def is_source_global(self, name: str) -> bool:
+        return any(name.startswith(prefix) for prefix in self.sources)
+
+    def global_content_taint(self, name: str) -> Taint:
+        if self.is_source_global(name):
+            return frozenset({name})
+        return self._global_content.get(name, _NO_TAINT)
+
+    # -- entry point ------------------------------------------------------
+
+    def check(self) -> List[OverflowFinding]:
+        for name in self._bottom_up_order():
+            self.summaries[name] = _FunctionChecker(self, self.module.functions[name]).run()
+        return self.findings
+
+    def _bottom_up_order(self) -> List[str]:
+        """Callees before callers; members of call cycles in arbitrary
+        order (they see no summary for each other — conservative)."""
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str) -> None:
+            if name in state:
+                return
+            state[name] = 0
+            fn = self.module.functions[name]
+            for block in fn.blocks.values():
+                for instr in block.instrs:
+                    if isinstance(instr, ir.CallInstr) and instr.func in self.module.functions:
+                        visit(instr.func)
+            state[name] = 1
+            order.append(name)
+
+        for name in self.module.functions:
+            visit(name)
+        return order
+
+    # -- findings ---------------------------------------------------------
+
+    def region_size(self, fn: ir.IRFunction, kind: str, name: str) -> Optional[int]:
+        if kind == "local":
+            return fn.local_arrays.get(name)
+        if kind == "global":
+            return self.module.global_vars.get(name)
+        return None
+
+    def record_write(
+        self,
+        fn: ir.IRFunction,
+        kind: str,
+        name: str,
+        offset: Interval,
+        width: int,
+        value_taint: Taint,
+        addr_taint: Taint,
+        callee: Optional[str],
+    ) -> None:
+        """Check one resolved write against its target region."""
+        if kind in ("local", "global"):
+            self._global_content[name] = self.global_content_taint(name) | value_taint
+        size = self.region_size(fn, kind, name)
+        if size is None:
+            return
+        in_bounds = offset.is_bounded and offset.hi + width <= size
+        taint = value_taint | addr_taint
+        if in_bounds or not taint:
+            return
+        key = (fn.name, kind, name, callee, width)
+        if key in self._finding_keys:
+            return
+        self._finding_keys.add(key)
+        self.findings.append(
+            OverflowFinding(
+                function=fn.name,
+                buffer=name,
+                buffer_kind=kind,
+                buffer_size=size,
+                width=width,
+                offset=offset,
+                sources=taint,
+                callee=callee,
+            )
+        )
+
+
+class _FunctionChecker:
+    """Intra-procedural worklist analysis of one function."""
+
+    def __init__(self, owner: ModuleChecker, fn: ir.IRFunction) -> None:
+        self.owner = owner
+        self.fn = fn
+        self.summary = FunctionSummary(name=fn.name)
+        #: May-taint of data stored into each local array so far.
+        self._local_content: Dict[str, Taint] = {}
+        self._param_writes: Dict[Tuple[str, int], ParamWrite] = {}
+        self._loop_heads = self._find_loop_heads()
+
+    def _find_loop_heads(self) -> Set[str]:
+        """Back-edge targets: the only blocks where widening applies.
+        Widening anywhere else would destroy branch refinements (a
+        bounds check inside a loop body joins refined states on every
+        revisit, and must converge by *join*, not blow up to top)."""
+        heads: Set[str] = set()
+        visited: Set[str] = set()
+        on_stack: Set[str] = set()
+        stack: List[Tuple[str, int]] = [(self.fn.entry, 0)]
+        while stack:
+            label, idx = stack.pop()
+            block = self.fn.blocks.get(label)
+            succs = block.successors() if block is not None else ()
+            if idx == 0:
+                visited.add(label)
+                on_stack.add(label)
+            if idx < len(succs):
+                stack.append((label, idx + 1))
+                succ = succs[idx]
+                if succ in on_stack:
+                    heads.add(succ)
+                elif succ not in visited:
+                    stack.append((succ, 0))
+            else:
+                on_stack.discard(label)
+        return heads
+
+    def run(self) -> FunctionSummary:
+        entry_env = {
+            p: AVal(
+                taint=frozenset({_param_value_token(p)}),
+                interval=Interval.top(),
+                pts=frozenset({("param", p, Interval.const(0))}),
+            )
+            for p in self.fn.params
+        }
+        in_states: Dict[str, Dict[str, AVal]] = {self.fn.entry: entry_env}
+        visits: Dict[str, int] = {}
+        work = [self.fn.entry]
+        while work:
+            label = work.pop(0)
+            block = self.fn.blocks.get(label)
+            if block is None:
+                continue
+            visits[label] = visits.get(label, 0) + 1
+            env = dict(in_states.get(label, {}))
+            for instr in block.instrs:
+                self._transfer(env, instr)
+            for succ, succ_env in self._terminator_envs(env, block.terminator):
+                old = in_states.get(succ)
+                if old is None:
+                    in_states[succ] = succ_env
+                    work.append(succ)
+                    continue
+                widen = succ in self._loop_heads and visits.get(succ, 0) >= _WIDEN_AFTER
+                merged = self._merge_env(old, succ_env, widen)
+                if merged != old:
+                    in_states[succ] = merged
+                    if succ not in work:
+                        work.append(succ)
+        self.summary.param_writes = list(self._param_writes.values())
+        return self.summary
+
+    # -- environment plumbing ---------------------------------------------
+
+    @staticmethod
+    def _merge_env(
+        old: Dict[str, AVal], new: Dict[str, AVal], widen: bool
+    ) -> Dict[str, AVal]:
+        merged = dict(old)
+        for name, val in new.items():
+            prev = merged.get(name)
+            if prev is None:
+                merged[name] = val
+            else:
+                merged[name] = prev.widen(val) if widen else prev.join(val)
+        return merged
+
+    def _eval(self, env: Dict[str, AVal], value: ir.Value) -> AVal:
+        if isinstance(value, ir.Const):
+            v = value.value
+            if 0 <= v < 1 << 63:
+                return AVal(interval=Interval.const(v))
+            return AVal()  # negative / wrapping constants: unknown range
+        return env.get(value.name, _UNKNOWN)
+
+    # -- transfer functions -------------------------------------------------
+
+    def _transfer(self, env: Dict[str, AVal], instr: ir.IRInstr) -> None:
+        if isinstance(instr, ir.Copy):
+            env[instr.dst.name] = self._eval(env, instr.src)
+            return
+        if isinstance(instr, ir.BinOp):
+            env[instr.dst.name] = self._binop(env, instr)
+            return
+        if isinstance(instr, ir.UnOp):
+            src = self._eval(env, instr.src)
+            env[instr.dst.name] = AVal(taint=src.taint)
+            return
+        if isinstance(instr, ir.CmpSet):
+            taint = self._eval(env, instr.lhs).taint | self._eval(env, instr.rhs).taint
+            env[instr.dst.name] = AVal(taint=taint, interval=Interval(0, 1))
+            return
+        if isinstance(instr, ir.Load):
+            env[instr.dst.name] = self._load(env, instr)
+            return
+        if isinstance(instr, ir.Store):
+            self._store(env, instr)
+            return
+        if isinstance(instr, ir.AddrOfLocal):
+            env[instr.dst.name] = AVal(
+                pts=frozenset({("local", instr.local, Interval.const(0))})
+            )
+            return
+        if isinstance(instr, ir.AddrOfGlobal):
+            env[instr.dst.name] = AVal(
+                pts=frozenset({("global", instr.symbol, Interval.const(0))})
+            )
+            return
+        if isinstance(instr, ir.CallInstr):
+            self._call(env, instr)
+            return
+        # Unknown instruction kind (future IR extension): conservatively
+        # flow the union of use taints into every def.
+        uses = [self._eval(env, v) for v in ir.instr_uses(instr)]
+        taint = frozenset().union(*(u.taint for u in uses)) if uses else _NO_TAINT
+        for dst in ir.instr_defs(instr):
+            env[dst.name] = AVal(taint=taint)
+
+    def _binop(self, env: Dict[str, AVal], instr: ir.BinOp) -> AVal:
+        lhs = self._eval(env, instr.lhs)
+        rhs = self._eval(env, instr.rhs)
+        taint = lhs.taint | rhs.taint
+        op = instr.op
+        if op == "add":
+            interval = lhs.interval.add(rhs.interval)
+            pts = set()
+            for kind, name, off in lhs.pts:
+                pts.add((kind, name, off.add(rhs.interval)))
+            for kind, name, off in rhs.pts:
+                pts.add((kind, name, off.add(lhs.interval)))
+            return AVal(taint=taint, interval=interval, pts=frozenset(pts))
+        if op == "sub" and isinstance(instr.rhs, ir.Const):
+            k = instr.rhs.value
+            pts = frozenset(
+                (kind, name, off.sub_const(k)) for kind, name, off in lhs.pts
+            )
+            return AVal(taint=taint, interval=lhs.interval.sub_const(k), pts=pts)
+        if op == "mul":
+            if isinstance(instr.rhs, ir.Const) and instr.rhs.value >= 0:
+                return AVal(taint=taint, interval=lhs.interval.scale(instr.rhs.value))
+            if isinstance(instr.lhs, ir.Const) and instr.lhs.value >= 0:
+                return AVal(taint=taint, interval=rhs.interval.scale(instr.lhs.value))
+        if op in ("umod",) and isinstance(instr.rhs, ir.Const) and instr.rhs.value > 0:
+            return AVal(taint=taint, interval=Interval(0, instr.rhs.value - 1))
+        if op in ("and",) and isinstance(instr.rhs, ir.Const) and instr.rhs.value >= 0:
+            return AVal(taint=taint, interval=Interval(0, instr.rhs.value))
+        return AVal(taint=taint)
+
+    def _load(self, env: Dict[str, AVal], instr: ir.Load) -> AVal:
+        addr = self._eval(env, instr.addr)
+        taint: Taint = addr.taint
+        for kind, name, _off in addr.pts:
+            if kind == "global":
+                taint |= self.owner.global_content_taint(name)
+            elif kind == "local":
+                taint |= self._local_content.get(name, _NO_TAINT)
+            elif kind == "param":
+                taint |= frozenset({_param_content_token(name)})
+        interval = Interval(0, 255) if instr.width == 1 else Interval.top()
+        return AVal(taint=taint, interval=interval)
+
+    def _store(self, env: Dict[str, AVal], instr: ir.Store) -> None:
+        addr = self._eval(env, instr.addr)
+        value = self._eval(env, instr.src)
+        self._apply_write(addr, instr.width, value.taint, addr.taint, callee=None)
+
+    def _apply_write(
+        self,
+        addr: AVal,
+        width: int,
+        value_taint: Taint,
+        addr_taint: Taint,
+        callee: Optional[str],
+        extra_offset: Optional[Interval] = None,
+    ) -> None:
+        for kind, name, off in addr.pts:
+            offset = off if extra_offset is None else off.add(extra_offset)
+            if kind == "param":
+                self._add_param_write(
+                    ParamWrite(
+                        param=name,
+                        offset=offset,
+                        width=width,
+                        value_taint=value_taint,
+                        addr_taint=addr_taint,
+                    )
+                )
+                continue
+            if kind == "local":
+                self._local_content[name] = (
+                    self._local_content.get(name, _NO_TAINT) | value_taint
+                )
+            self.owner.record_write(
+                self.fn, kind, name, offset, width, value_taint, addr_taint, callee
+            )
+
+    def _add_param_write(self, write: ParamWrite) -> None:
+        key = (write.param, write.width)
+        old = self._param_writes.get(key)
+        if old is None:
+            self._param_writes[key] = write
+        else:
+            self._param_writes[key] = ParamWrite(
+                param=write.param,
+                offset=old.offset.join(write.offset),
+                width=write.width,
+                value_taint=old.value_taint | write.value_taint,
+                addr_taint=old.addr_taint | write.addr_taint,
+            )
+
+    # -- calls ---------------------------------------------------------------
+
+    def _content_taint_of(self, arg: AVal) -> Taint:
+        """Taint of the memory reachable through ``arg``'s pointers."""
+        taint: Taint = _NO_TAINT
+        for kind, name, _off in arg.pts:
+            if kind == "global":
+                taint |= self.owner.global_content_taint(name)
+            elif kind == "local":
+                taint |= self._local_content.get(name, _NO_TAINT)
+            elif kind == "param":
+                taint |= frozenset({_param_content_token(name)})
+        return taint
+
+    def _translate(
+        self, tokens: Taint, args: Dict[str, AVal]
+    ) -> Taint:
+        """Rewrite a callee's param:* placeholder tokens for this site."""
+        out: Set[str] = set()
+        for token in tokens:
+            if token.startswith(_PARAM_CONTENT):
+                arg = args.get(token[len(_PARAM_CONTENT):])
+                if arg is not None:
+                    out |= self._content_taint_of(arg)
+            elif token.startswith(_PARAM_VALUE):
+                arg = args.get(token[len(_PARAM_VALUE):])
+                if arg is not None:
+                    out |= arg.taint
+            else:
+                out.add(token)
+        return frozenset(out)
+
+    def _call(self, env: Dict[str, AVal], instr: ir.CallInstr) -> None:
+        arg_vals = [self._eval(env, a) for a in instr.args]
+        summary = self.owner.summaries.get(instr.func)
+        if summary is None:
+            # Builtin, or a member of a recursive cycle: no summary.
+            # Conservatively flow argument taint to the result.
+            if instr.dst is not None:
+                taint = frozenset().union(*(a.taint for a in arg_vals)) if arg_vals else _NO_TAINT
+                env[instr.dst.name] = AVal(taint=taint)
+            return
+        callee = self.owner.module.functions[instr.func]
+        by_param = dict(zip(callee.params, arg_vals))
+        for write in summary.param_writes:
+            arg = by_param.get(write.param)
+            if arg is None:
+                continue
+            value_taint = self._translate(write.value_taint, by_param)
+            addr_taint = self._translate(write.addr_taint, by_param) | arg.taint
+            self._apply_write(
+                arg,
+                write.width,
+                value_taint,
+                addr_taint,
+                callee=instr.func,
+                extra_offset=write.offset,
+            )
+        if instr.dst is not None:
+            env[instr.dst.name] = AVal(taint=self._translate(summary.ret_taint, by_param))
+
+    # -- terminators ---------------------------------------------------------
+
+    def _terminator_envs(
+        self, env: Dict[str, AVal], term: Optional[ir.Terminator]
+    ) -> List[Tuple[str, Dict[str, AVal]]]:
+        if isinstance(term, ir.Jump):
+            return [(term.target, env)]
+        if isinstance(term, ir.Branch):
+            then_env = self._refine(env, term.op, term.lhs, term.rhs)
+            els_env = self._refine(env, ir.negate_cmp(term.op), term.lhs, term.rhs)
+            return [(term.then, then_env), (term.els, els_env)]
+        if isinstance(term, ir.Ret) and term.value is not None:
+            self.summary.ret_taint |= self._eval(env, term.value).taint
+        return []
+
+    def _refine(
+        self, env: Dict[str, AVal], op: str, lhs: ir.Value, rhs: ir.Value
+    ) -> Dict[str, AVal]:
+        """Narrow interval facts along a branch edge."""
+        refined = dict(env)
+        self._refine_one(refined, op, lhs, self._eval(env, rhs).interval)
+        self._refine_one(refined, ir.swap_cmp(op), rhs, self._eval(env, lhs).interval)
+        return refined
+
+    def _refine_one(
+        self, env: Dict[str, AVal], op: str, value: ir.Value, bound: Interval
+    ) -> None:
+        if not isinstance(value, ir.Temp):
+            return
+        old = env.get(value.name, _UNKNOWN)
+        interval = old.interval
+        if op == "ult":
+            interval = interval.clamp_below(bound.hi)
+        elif op == "ule":
+            interval = interval.clamp_below_eq(bound.hi)
+        elif op == "ugt":
+            interval = interval.clamp_above_eq(bound.lo + 1)
+        elif op == "uge":
+            interval = interval.clamp_above_eq(bound.lo)
+        elif op == "eq":
+            interval = interval.clamp_below_eq(bound.hi).clamp_above_eq(bound.lo)
+        else:
+            return
+        if interval.hi is not INF and interval.hi < interval.lo:
+            # Infeasible edge; keep the old facts (sound, just imprecise).
+            return
+        env[value.name] = replace(old, interval=interval)

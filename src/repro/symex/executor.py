@@ -14,15 +14,14 @@ construction (Table II) needs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import Instruction, Op, OP_TABLE
 from ..isa.registers import Reg
 from .expr import (
     BV,
-    Bool,
     BoolConst,
     bv_add,
     bv_and,
@@ -104,6 +103,11 @@ class SymbolicExecutor:
         # Gadget windows overlap heavily (every suffix is probed too),
         # so memoize decoding per address.
         self._decode_cache: dict = {}
+
+    def preload_decode_cache(self, cache: dict) -> None:
+        """Adopt an externally built addr → Instruction|None cache
+        (e.g. from ``staticanalysis.DecodeGraph``) to avoid re-decoding."""
+        self._decode_cache.update(cache)
 
     def _decode_at(self, addr: int) -> Optional[Instruction]:
         if addr in self._decode_cache:

@@ -21,7 +21,7 @@ Design notes:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, Tuple, Union
 
 MASK64 = (1 << 64) - 1

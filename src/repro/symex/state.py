@@ -20,27 +20,24 @@ The state models exactly what the paper's gadget records need:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..isa.registers import ALL_REGS, Flag, Reg
+from ..isa.registers import ALL_REGS, Reg
 from .expr import (
     BV,
     BVConst,
     BVSym,
     Bool,
-    BoolConst,
     CmpOp,
     FALSE,
     TRUE,
     bool_and,
     bool_not,
     bool_or,
-    bv_add,
     bv_and,
     bv_const,
     bv_eq,
-    bv_not,
     bv_or,
     bv_shl,
     bv_shr,

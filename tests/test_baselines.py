@@ -1,7 +1,6 @@
 """Tests for the three baseline tools, including the comparative
 behaviours the paper's evaluation depends on."""
 
-import pytest
 
 from repro.baselines import AngropLike, ROPGadgetLike, SGCLike
 from repro.binfmt import make_image

@@ -5,7 +5,6 @@ import pytest
 
 from repro.bench import BENCHMARK_SUITE, SPEC_SUITE, build, verify_semantics
 from repro.bench.netperf import (
-    NETPERF_SOURCE,
     build_exploit_argument,
     find_overflow_offset,
     netperf_image,

@@ -8,7 +8,6 @@ from repro.binfmt import (
     BinaryImage,
     DATA_BASE,
     SCRATCH_SIZE,
-    Section,
     TEXT_BASE,
     make_image,
 )

@@ -15,7 +15,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.binfmt import make_image
 from repro.emulator import Emulator
-from repro.isa import Instruction, Op, Reg, encode, encode_program
+from repro.isa import Instruction, Op, Reg, encode_program
 from repro.symex import EndKind, eval_bool, eval_bv, execute_paths
 
 SAFE_REGS = [r for r in Reg if r not in (Reg.RSP, Reg.RBP)]

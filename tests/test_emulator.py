@@ -15,7 +15,7 @@ from repro.emulator import (
     Sys,
     run_image,
 )
-from repro.isa import Flag, Reg, assemble, assemble_unit
+from repro.isa import Flag, Reg, assemble_unit
 
 
 def emu_for(source, data=b"", **kwargs):

@@ -1,6 +1,5 @@
 """Tests for gadget extraction, classification, and subsumption."""
 
-import pytest
 
 from repro.binfmt import make_image
 from repro.gadgets import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.bench import harness
 from repro.bench.harness import (
-    Fig1Row,
     Table1Row,
     Table4Cell,
     Table5Row,

@@ -15,7 +15,6 @@ from repro.lang import (
     Return,
     StrLit,
     Unary,
-    Var,
     While,
     parse,
     tokenize,

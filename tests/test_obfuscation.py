@@ -10,20 +10,17 @@ import pytest
 
 from repro.compiler import lower_program
 from repro.emulator import run_image
-from repro.isa import Op, decode_all
 from repro.lang import parse
 from repro.obfuscation import (
     CONFIGS,
     LLVM_OBF,
     NONE,
-    TIGRESS,
     BogusControlFlow,
     ControlFlowFlattening,
     EncodeData,
     InstructionSubstitution,
     Virtualization,
     build_program,
-    make_opaque_predicate,
 )
 from repro.obfuscation.opaque import GENERATORS
 from repro.compiler.ir import IRFunction
@@ -180,7 +177,7 @@ def test_flattening_skips_single_block_functions():
 def test_encode_data_hides_literals():
     module = _module_for("u64 main() { return 123456789; }")
     EncodeData(seed=1, probability=1.0).run(module)
-    from repro.compiler.ir import Const, Copy, Ret
+    from repro.compiler.ir import Const
 
     consts = []
     for block in module.functions["main"].blocks.values():
@@ -198,7 +195,7 @@ def test_virtualization_replaces_body_with_interpreter():
     main = module.functions["main"]
     labels = set(main.blocks)
     assert "vm_fetch" in labels
-    assert any(l.startswith("vm_dispatch") for l in labels)
+    assert any(label.startswith("vm_dispatch") for label in labels)
 
 
 def test_virtualization_bytecode_is_word_aligned():

@@ -7,7 +7,7 @@ from repro.binfmt import make_image
 from repro.gadgets import ExtractionConfig, extract_gadgets
 from repro.isa import Reg, assemble_unit
 from repro.planner.conditions import RegCondition
-from repro.planner.plan import GOAL_STEP, OpenCondition, PartialPlan, Step
+from repro.planner.plan import GOAL_STEP, PartialPlan
 
 
 def gadget_pool():

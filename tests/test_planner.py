@@ -4,17 +4,13 @@ Every successful payload here is *executed in the emulator* and must
 raise the goal syscall with the planned arguments — no paper-tiger
 chains."""
 
-import pytest
 
 from repro.binfmt import make_image
 from repro.emulator import Sys
-from repro.isa import Reg, assemble_unit
+from repro.isa import assemble_unit
 from repro.planner import (
-    AttackGoal,
-    ExtractionConfig,
     GadgetPlanner,
     PlannerConfig,
-    Pointer,
     execve_goal,
     mmap_goal,
     mprotect_goal,

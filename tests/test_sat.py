@@ -13,7 +13,7 @@ def brute_force_sat(clauses, num_vars):
         assignment = {i + 1: bits[i] for i in range(num_vars)}
         ok = True
         for clause in clauses:
-            if not any(assignment[abs(l)] == (l > 0) for l in clause):
+            if not any(assignment[abs(lit)] == (lit > 0) for lit in clause):
                 ok = False
                 break
         if ok:
@@ -46,7 +46,7 @@ def test_model_satisfies_clauses():
     result = solve_clauses(clauses)
     assert result.satisfiable
     for clause in clauses:
-        assert any(result.model[abs(l)] == (l > 0) for l in clause)
+        assert any(result.model[abs(lit)] == (lit > 0) for lit in clause)
 
 
 def test_pigeonhole_3_into_2_unsat():
@@ -127,4 +127,4 @@ def test_property_matches_brute_force(problem):
     assert result.satisfiable == expected
     if result.satisfiable:
         for clause in clauses:
-            assert any(result.model[abs(l)] == (l > 0) for l in clause)
+            assert any(result.model[abs(lit)] == (lit > 0) for lit in clause)

@@ -6,8 +6,6 @@ from repro.solver import Solver, Status
 from repro.symex.expr import (
     MASK64,
     CmpOp,
-    bool_and,
-    bool_not,
     bool_or,
     bv_add,
     bv_and,

@@ -6,12 +6,9 @@ from hypothesis import given, strategies as st
 from repro.symex.expr import (
     BVBin,
     BVBinOp,
-    BVConst,
-    BVSym,
     MASK64,
     TRUE,
     FALSE,
-    BoolConst,
     CmpOp,
     bool_and,
     bool_not,
