@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""CI smoke test for the repro.pipeline fast paths.
+
+Tiny binary, ``--jobs 2``: a cold run populates the cache, a warm run
+must hit it, perform zero symbolic execution, and return the identical
+pool.  Budgeted well under a minute on a 1-core runner.
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.harness import build
+from repro.gadgets.extract import ExtractionConfig, ExtractionStats
+from repro.pipeline import ResultCache, extract_pool, pool_to_bytes
+
+
+def main() -> int:
+    image = build("bubble_sort", "llvm_obf", 7).image
+    config = ExtractionConfig(max_insns=6, max_paths=2)
+    with tempfile.TemporaryDirectory(prefix="nfl-smoke-") as td:
+        cache = ResultCache(root=Path(td))
+
+        cold_stats = ExtractionStats()
+        t0 = time.perf_counter()
+        cold = extract_pool(image, config, cold_stats, jobs=2, cache=cache)
+        cold_wall = time.perf_counter() - t0
+
+        warm_stats = ExtractionStats()
+        t0 = time.perf_counter()
+        warm = extract_pool(image, config, warm_stats, jobs=2, cache=cache)
+        warm_wall = time.perf_counter() - t0
+
+    print(
+        f"cold: {len(cold)} gadgets in {cold_wall:.2f}s "
+        f"(jobs={cold_stats.jobs}, symex={cold_stats.symex_invocations}) | "
+        f"warm: {warm_wall:.3f}s "
+        f"(cache_hits={warm_stats.cache_hits}, symex={warm_stats.symex_invocations})"
+    )
+    assert cold_stats.cache_misses == 1, "cold run should miss the empty cache"
+    assert warm_stats.cache_hits == 1, "warm run must reuse the cached pool"
+    assert warm_stats.symex_invocations == 0, "warm run must not re-execute"
+    assert pool_to_bytes(warm) == pool_to_bytes(cold), "warm pool differs from cold"
+    print("pipeline smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

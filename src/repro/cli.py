@@ -6,7 +6,8 @@
     nfl run prog.nflf [--step-limit N]
     nfl disasm prog.nflf [--start ADDR] [--count N]
     nfl gadgets prog.nflf [--types]
-    nfl census prog.nflf [--static]
+    nfl extract prog.nflf [--jobs N] [--cache-dir PATH] [--no-cache]
+    nfl census prog.nflf [--static] [--semantic] [--jobs N]
     nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--max-plans N]
     nfl study prog.mc [--configs none,llvm_obf,...]
     nfl lint prog.mc [--sources optarg,recv,...]
@@ -25,7 +26,9 @@ from typing import List, Optional
 from .binfmt.image import BinaryImage
 from .emulator.cpu import run_image
 from .gadgets.classify import count_by_type, scan_syntactic_gadgets, semantic_census
-from .gadgets.extract import ExtractionConfig
+from .gadgets.extract import ExtractionConfig, ExtractionStats
+from .gadgets.subsumption import SubsumptionStats
+from .pipeline import ResultCache, run_pipeline
 from .staticanalysis import (
     DEFAULT_SOURCES,
     check_module_source,
@@ -91,6 +94,58 @@ def cmd_gadgets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The ResultCache the pipeline flags describe (None = --no-cache)."""
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return ResultCache(root=Path(args.cache_dir))
+    return ResultCache()
+
+
+def _pipeline_stats_line(es: ExtractionStats, ss: Optional[SubsumptionStats]) -> str:
+    parts = [
+        f"jobs={es.jobs}",
+        f"symex={es.symex_invocations}",
+        f"culled={es.semantically_culled}/{es.candidates}",
+        "cache=" + ("hit" if es.cache_hit else "miss" if es.cache_misses else "off"),
+        f"extract {es.wall_total:.2f}s",
+    ]
+    if ss is not None:
+        parts += [
+            f"solver_checks={ss.solver_checks}",
+            f"memo={ss.memo_hits}/{ss.implication_queries}",
+            f"winnow {ss.wall_total:.2f}s",
+        ]
+    return "  ".join(parts)
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    image = _load_image(args.binary)
+    config = ExtractionConfig(max_insns=args.max_insns, max_paths=args.max_paths)
+    es, ss = ExtractionStats(), SubsumptionStats()
+    records, survivors = run_pipeline(
+        image,
+        config,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        winnow=not args.no_winnow,
+        extraction_stats=es,
+        winnow_stats=ss,
+    )
+    if survivors is None:
+        print(f"{len(records)} gadgets extracted")
+        print(_pipeline_stats_line(es, None))
+        shown = records
+    else:
+        print(f"{len(records)} gadgets extracted, {len(survivors)} after subsumption")
+        print(_pipeline_stats_line(es, ss))
+        shown = survivors
+    for record in shown[: args.list]:
+        print(f"  {record}")
+    return 0
+
+
 def cmd_census(args: argparse.Namespace) -> int:
     image = _load_image(args.binary)
     gadgets = scan_syntactic_gadgets(image, max_insns=args.max_insns)
@@ -98,6 +153,19 @@ def cmd_census(args: argparse.Namespace) -> int:
     if args.static:
         metrics = semantic_census(image, max_insns=args.max_insns)
         print(format_metrics(metrics))
+    if args.semantic:
+        config = ExtractionConfig(max_insns=args.max_insns)
+        es, ss = ExtractionStats(), SubsumptionStats()
+        records, survivors = run_pipeline(
+            image,
+            config,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            extraction_stats=es,
+            winnow_stats=ss,
+        )
+        print(f"{len(records)} semantic gadgets, {len(survivors)} after subsumption")
+        print(_pipeline_stats_line(es, ss))
     return 0
 
 
@@ -154,6 +222,22 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: os.cpu_count())",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result cache root (default: ~/.cache/nfl or $NFL_CACHE_DIR)",
+    )
+    p.add_argument("--no-cache", action="store_true", help="disable the persistent result cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nfl",
@@ -186,10 +270,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-insns", type=int, default=8)
     p.set_defaults(func=cmd_gadgets)
 
+    p = sub.add_parser("extract", help="semantic gadget extraction (parallel + cached)")
+    p.add_argument("binary")
+    p.add_argument("--max-insns", type=int, default=12)
+    p.add_argument("--max-paths", type=int, default=6)
+    p.add_argument("--no-winnow", action="store_true", help="skip subsumption winnowing")
+    p.add_argument("--list", type=int, default=0, help="print the first N gadgets")
+    _add_pipeline_flags(p)
+    p.set_defaults(func=cmd_extract)
+
     p = sub.add_parser("census", help="gadget-set quality census (static dataflow)")
     p.add_argument("binary")
     p.add_argument("--static", action="store_true", help="add semantic window metrics")
+    p.add_argument("--semantic", action="store_true", help="run the full extraction pipeline")
     p.add_argument("--max-insns", type=int, default=8)
+    _add_pipeline_flags(p)
     p.set_defaults(func=cmd_census)
 
     p = sub.add_parser("lint", help="static overflow checker for MC source")

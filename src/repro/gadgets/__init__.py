@@ -13,10 +13,20 @@ from .extract import (
     ExtractionStats,
     candidate_offsets,
     extract_gadgets,
+    make_executor,
+    plan_candidates,
+    run_candidates,
     syntactic_scan,
 )
 from .record import GadgetRecord, JmpType, record_from_path
-from .subsumption import SubsumptionStats, deduplicate_gadgets, fingerprint, subsumes
+from .subsumption import (
+    SubsumptionStats,
+    bucketize,
+    deduplicate_gadgets,
+    fingerprint,
+    subsumes,
+    winnow_bucket,
+)
 
 __all__ = [
     "ExtractionConfig",
@@ -25,16 +35,21 @@ __all__ = [
     "JmpType",
     "SubsumptionStats",
     "SyntacticGadget",
+    "bucketize",
     "candidate_offsets",
     "classify_window",
     "count_by_type",
     "deduplicate_gadgets",
     "extract_gadgets",
     "fingerprint",
+    "make_executor",
+    "plan_candidates",
     "record_from_path",
+    "run_candidates",
     "scan_syntactic_gadgets",
     "semantic_census",
     "subsumes",
     "syntactic_scan",
     "total_gadgets",
+    "winnow_bucket",
 ]

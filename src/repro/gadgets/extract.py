@@ -28,8 +28,9 @@ so every byte of the section is decoded exactly once per extraction.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from ..analysis.cfg import recover_cfg
 from ..binfmt.image import BinaryImage
@@ -65,10 +66,21 @@ class ExtractionStats:
     semantically_culled: int = 0  # candidates the prefilter removed
     symex_invocations: int = 0  # windows actually executed symbolically
     records: int = 0
+    jobs: int = 1  # worker processes that ran the symex stage
+    cache_hits: int = 0  # persistent-cache lookups that short-circuited
+    cache_misses: int = 0
+    wall_candidates: float = 0.0  # candidate enumeration + syntactic scan
+    wall_prefilter: float = 0.0  # semantic prefilter
+    wall_symex: float = 0.0  # symbolic execution (sum over workers' share)
+    wall_total: float = 0.0  # end-to-end, including cache and merge
 
     @property
     def cull_ratio(self) -> float:
         return self.semantically_culled / self.candidates if self.candidates else 0.0
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_hits > 0
 
 
 def syntactic_scan(
@@ -164,42 +176,78 @@ def candidate_offsets(
     return candidates
 
 
-def extract_gadgets(
+def plan_candidates(
     image: BinaryImage,
-    config: Optional[ExtractionConfig] = None,
+    config: ExtractionConfig,
     stats: Optional[ExtractionStats] = None,
-) -> List[GadgetRecord]:
-    """Run the full extraction stage over an image.
+) -> Tuple[DecodeGraph, List[int]]:
+    """Stages 1+2: the shared decode graph and the final candidate list.
 
     When ``config.semantic_prefilter`` is on, candidates whose decode
     graph proves them transfer-unreachable within the window budget are
-    skipped before symbolic execution.  The prefilter runs *after* the
+    dropped before symbolic execution.  The prefilter runs *after* the
     candidate list is fixed (including ``max_candidates`` sampling), so
     it changes which windows are executed, never which are considered —
     with identical record output either way, gadget ids included,
     because culled windows contribute zero usable paths.
     """
-    config = config or ExtractionConfig()
     text = image.text
     graph = DecodeGraph(text.data, text.addr)
-    executor = SymbolicExecutor(
-        text.data,
-        text.addr,
-        max_insns=config.max_insns,
-        max_paths=config.max_paths if config.include_conditional else 1,
-    )
-    executor.preload_decode_cache(graph.addr_decode_cache())
+    t0 = time.perf_counter()
     candidates = candidate_offsets(image, config, graph)
+    t1 = time.perf_counter()
     if stats is not None:
         stats.candidates = len(candidates)
+        stats.wall_candidates += t1 - t0
     if config.semantic_prefilter:
         analyzer = WindowAnalyzer(graph, max_insns=config.max_insns)
         kept = [a for a in candidates if analyzer.reaches_transfer(a)]
         if stats is not None:
             stats.semantically_culled = len(candidates) - len(kept)
+            stats.wall_prefilter += time.perf_counter() - t1
         candidates = kept
+    return graph, candidates
+
+
+def make_executor(
+    code: bytes,
+    base_addr: int,
+    config: ExtractionConfig,
+    graph: Optional[DecodeGraph] = None,
+) -> SymbolicExecutor:
+    """The symbolic executor the extraction stage runs candidates on.
+
+    Worker processes call this without a ``graph`` (shipping one per
+    worker costs more than lazily re-decoding); the decode cache only
+    affects speed, never which paths are found.
+    """
+    executor = SymbolicExecutor(
+        code,
+        base_addr,
+        max_insns=config.max_insns,
+        max_paths=config.max_paths if config.include_conditional else 1,
+    )
+    if graph is not None:
+        executor.preload_decode_cache(graph.addr_decode_cache())
+    return executor
+
+
+def run_candidates(
+    executor: SymbolicExecutor,
+    candidates: List[int],
+    config: ExtractionConfig,
+    stats: Optional[ExtractionStats] = None,
+    start_id: int = 0,
+) -> List[GadgetRecord]:
+    """Stage 3: symbolically execute candidates, in order, into records.
+
+    Ids are assigned sequentially from ``start_id`` in candidate order,
+    so a sharded run that concatenates per-shard results in shard order
+    and renumbers reproduces the serial numbering exactly.
+    """
     records: List[GadgetRecord] = []
-    gadget_id = 0
+    gadget_id = start_id
+    t0 = time.perf_counter()
     for addr in candidates:
         if stats is not None:
             stats.symex_invocations += 1
@@ -213,5 +261,28 @@ def extract_gadgets(
             records.append(record_from_path(gadget_id, path))
             gadget_id += 1
     if stats is not None:
+        stats.wall_symex += time.perf_counter() - t0
+    return records
+
+
+def extract_gadgets(
+    image: BinaryImage,
+    config: Optional[ExtractionConfig] = None,
+    stats: Optional[ExtractionStats] = None,
+) -> List[GadgetRecord]:
+    """Run the full extraction stage over an image, serially.
+
+    :mod:`repro.pipeline` runs the same three stages with the symex
+    stage sharded over worker processes and the result pool cached on
+    disk; this function remains the single-process reference path the
+    parallel pipeline is asserted byte-identical against.
+    """
+    config = config or ExtractionConfig()
+    t0 = time.perf_counter()
+    graph, candidates = plan_candidates(image, config, stats)
+    executor = make_executor(image.text.data, image.text.addr, config, graph)
+    records = run_candidates(executor, candidates, config, stats)
+    if stats is not None:
         stats.records = len(records)
+        stats.wall_total += time.perf_counter() - t0
     return records

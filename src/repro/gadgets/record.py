@@ -97,6 +97,24 @@ class GadgetRecord:
     def __str__(self) -> str:
         return f"Gadget@{self.location:#x}({self.jmp_type.value},{self.num_insns} insns)"
 
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding (see :mod:`repro.pipeline.serialize`).
+
+        Equal records produce equal bytes, and ``from_bytes`` restores a
+        structurally identical record — the round-trip the worker pool
+        and the persistent result cache both rely on.
+        """
+        from ..pipeline.serialize import record_to_bytes
+
+        return record_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "GadgetRecord":
+        """Inverse of :meth:`to_bytes`."""
+        from ..pipeline.serialize import record_from_bytes
+
+        return record_from_bytes(blob)
+
 
 def record_from_path(gadget_id: int, path: PathSummary) -> GadgetRecord:
     """Build a Table II record from one symbolic path summary."""

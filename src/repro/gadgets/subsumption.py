@@ -33,6 +33,7 @@ emitted payload is validated by concrete execution).
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -122,12 +123,47 @@ def _posts_equal(a: GadgetRecord, b: GadgetRecord, solver: Solver, exact: bool =
     return True
 
 
-def _pre_implies(weaker: Sequence[Bool], stronger: Sequence[Bool], solver: Solver) -> bool:
-    """Does ``stronger`` imply ``weaker``? (pre_2 → pre_1 in eqn. 1)."""
+#: Memo table type for pre-condition implication decisions: the key is
+#: the normalized (stronger, weaker) pair of constraint tuples.
+ImplicationMemo = Dict[Tuple[Tuple[Bool, ...], Tuple[Bool, ...]], bool]
+
+
+def _pre_implies(
+    weaker: Sequence[Bool],
+    stronger: Sequence[Bool],
+    solver: Solver,
+    memo: Optional[ImplicationMemo] = None,
+    stats: Optional["SubsumptionStats"] = None,
+) -> bool:
+    """Does ``stronger`` imply ``weaker``? (pre_2 → pre_1 in eqn. 1).
+
+    Implication decisions recur heavily inside one winnow — the same
+    handful of pre-condition lists shows up across a bucket's records —
+    so with a ``memo`` the sampling + solver work runs once per
+    normalized ``(pre₁, pre₂)`` pair.
+    """
     if not weaker:
         return True  # an empty pre-condition is implied by anything
     if list(weaker) == list(stronger):
         return True
+    if stats is not None:
+        stats.implication_queries += 1
+    key = None
+    if memo is not None:
+        key = (tuple(dict.fromkeys(stronger)), tuple(dict.fromkeys(weaker)))
+        if key in memo:
+            if stats is not None:
+                stats.memo_hits += 1
+            return memo[key]
+    result = _pre_implies_uncached(weaker, stronger, solver)
+    if key is not None:
+        memo[key] = result
+    return result
+
+
+def _pre_implies_uncached(
+    weaker: Sequence[Bool], stronger: Sequence[Bool], solver: Solver
+) -> bool:
     # Sampling refutation: a vector satisfying `stronger` but not
     # `weaker` disproves the implication without any solver work.
     for trial in _REFUTE_TRIALS:
@@ -153,11 +189,13 @@ def subsumes(
     solver: Optional[Solver] = None,
     *,
     exact: bool = False,
+    memo: Optional[ImplicationMemo] = None,
+    stats: Optional["SubsumptionStats"] = None,
 ) -> bool:
     """True iff g1 subsumes g2 per eqn. (1)."""
     solver = solver or Solver(max_conflicts=2000)
     return _posts_equal(g1, g2, solver, exact) and _pre_implies(
-        g1.pre_cond, g2.pre_cond, solver
+        g1.pre_cond, g2.pre_cond, solver, memo, stats
     )
 
 
@@ -167,12 +205,70 @@ class SubsumptionStats:
     output_count: int = 0
     buckets: int = 0
     solver_checks: int = 0
+    implication_queries: int = 0  # non-trivial pre-implication decisions
+    memo_hits: int = 0  # answered from the implication memo
+    jobs: int = 1  # worker processes that ran the winnow
+    cache_hits: int = 0  # persistent-cache lookups that short-circuited
+    cache_misses: int = 0
+    wall_total: float = 0.0
 
     @property
     def reduction_factor(self) -> float:
         if self.output_count == 0:
             return 1.0
         return self.input_count / self.output_count
+
+    @property
+    def memo_hit_rate(self) -> float:
+        if not self.implication_queries:
+            return 0.0
+        return self.memo_hits / self.implication_queries
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_hits > 0
+
+
+def bucketize(records: Sequence[GadgetRecord]) -> List[List[GadgetRecord]]:
+    """Group records into fingerprint buckets.
+
+    Buckets are returned in fingerprint first-occurrence order, which is
+    what the serial winnow iterates — a sharded winnow that processes
+    and concatenates buckets in this order reproduces the serial
+    survivor order exactly (the final stable location sort preserves
+    the concatenation order among location ties).
+    """
+    buckets: Dict[Tuple, List[GadgetRecord]] = defaultdict(list)
+    for record in records:
+        buckets[fingerprint(record)].append(record)
+    return list(buckets.values())
+
+
+def winnow_bucket(
+    bucket: Sequence[GadgetRecord],
+    solver: Solver,
+    stats: Optional[SubsumptionStats] = None,
+    *,
+    exact: bool = False,
+    memo: Optional[ImplicationMemo] = None,
+) -> List[GadgetRecord]:
+    """Winnow one fingerprint bucket; buckets are independent, so this
+    is the unit of work a parallel winnow shards across processes."""
+    # Candidate order: fewest preconditions first, then shortest —
+    # the preferred representative wins ties cheaply.
+    ordered = sorted(bucket, key=lambda g: (len(g.pre_cond), g.num_insns, g.location))
+    kept: List[GadgetRecord] = []
+    for record in ordered:
+        dominated = False
+        for keeper in kept:
+            if stats is not None:
+                stats.solver_checks += 1
+            if subsumes(keeper, record, solver, exact=exact, memo=memo, stats=stats):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(record)
+    return kept
 
 
 def deduplicate_gadgets(
@@ -183,32 +279,26 @@ def deduplicate_gadgets(
     exact: bool = False,
 ) -> List[GadgetRecord]:
     """Winnow the pool: keep one representative per equivalence class,
-    preferring the loosest pre-condition, then the shortest gadget."""
+    preferring the loosest pre-condition, then the shortest gadget.
+
+    :mod:`repro.pipeline` runs the same winnow with the buckets sharded
+    over worker processes and the survivor pool cached on disk; this
+    function remains the single-process reference path the parallel
+    winnow is asserted byte-identical against.
+    """
     solver = solver or Solver(max_conflicts=2000)
     stats = stats if stats is not None else SubsumptionStats()
     stats.input_count = len(records)
+    t0 = time.perf_counter()
 
-    buckets: Dict[Tuple, List[GadgetRecord]] = defaultdict(list)
-    for record in records:
-        buckets[fingerprint(record)].append(record)
+    buckets = bucketize(records)
     stats.buckets = len(buckets)
 
+    memo: ImplicationMemo = {}
     survivors: List[GadgetRecord] = []
-    for bucket in buckets.values():
-        # Candidate order: fewest preconditions first, then shortest —
-        # the preferred representative wins ties cheaply.
-        bucket.sort(key=lambda g: (len(g.pre_cond), g.num_insns, g.location))
-        kept: List[GadgetRecord] = []
-        for record in bucket:
-            dominated = False
-            for keeper in kept:
-                stats.solver_checks += 1
-                if subsumes(keeper, record, solver, exact=exact):
-                    dominated = True
-                    break
-            if not dominated:
-                kept.append(record)
-        survivors.extend(kept)
+    for bucket in buckets:
+        survivors.extend(winnow_bucket(bucket, solver, stats, exact=exact, memo=memo))
     survivors.sort(key=lambda g: g.location)
     stats.output_count = len(survivors)
+    stats.wall_total += time.perf_counter() - t0
     return survivors

@@ -1,0 +1,41 @@
+"""repro.pipeline — the performance layer over extraction + winnowing.
+
+Three cooperating pieces (see DESIGN.md's inventory):
+
+* :mod:`~repro.pipeline.serialize` — canonical, versioned byte encoding
+  for gadget records and pools (workers and the cache both need it);
+* :mod:`~repro.pipeline.cache` — persistent content-addressed pool
+  store keyed by (image bytes, config, pipeline/format versions);
+* :mod:`~repro.pipeline.parallel` — sharded extraction and winnowing
+  with merges that are byte-identical to the serial reference paths.
+"""
+
+from .cache import CACHE_DIR_ENV, CacheStats, PIPELINE_VERSION, ResultCache, default_cache_dir
+from .parallel import extract_pool, run_pipeline, winnow_pool
+from .serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    config_key_bytes,
+    pool_from_bytes,
+    pool_to_bytes,
+    record_from_bytes,
+    record_to_bytes,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "FORMAT_VERSION",
+    "PIPELINE_VERSION",
+    "ResultCache",
+    "SerializationError",
+    "config_key_bytes",
+    "default_cache_dir",
+    "extract_pool",
+    "pool_from_bytes",
+    "pool_to_bytes",
+    "record_from_bytes",
+    "record_to_bytes",
+    "run_pipeline",
+    "winnow_pool",
+]

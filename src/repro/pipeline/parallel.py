@@ -1,0 +1,319 @@
+"""Sharded extraction/winnowing with deterministic merges.
+
+The two heavy stages parallelize along natural seams:
+
+* **Extraction** — candidate windows are independent, so the candidate
+  list is split into contiguous chunks and each worker symbolically
+  executes its chunk on a private executor.  The serial path assigns
+  gadget ids sequentially over kept records in candidate order, so
+  concatenating per-chunk results in chunk order and renumbering
+  reproduces the serial pool byte for byte.
+
+* **Winnowing** — fingerprint buckets cannot subsume across buckets,
+  so buckets shard freely.  Buckets are kept in fingerprint
+  first-occurrence order (what the serial winnow iterates); the final
+  stable location sort then reproduces the serial survivor order.
+
+Workers exchange records via the canonical encoding in
+:mod:`repro.pipeline.serialize` rather than pickle, which keeps the
+"parallel == serial" property a one-line bytes comparison.  Either
+stage can short-circuit entirely through a :class:`ResultCache`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..binfmt.image import BinaryImage
+from ..gadgets.extract import (
+    ExtractionConfig,
+    ExtractionStats,
+    make_executor,
+    plan_candidates,
+    run_candidates,
+)
+from ..gadgets.record import GadgetRecord
+from ..gadgets.subsumption import (
+    ImplicationMemo,
+    SubsumptionStats,
+    bucketize,
+    winnow_bucket,
+)
+from ..solver.solver import Solver
+from .cache import ResultCache
+from .serialize import pool_from_bytes, pool_to_bytes
+
+#: Conservative solver budget matching the serial winnow default.
+_WINNOW_MAX_CONFLICTS = 2000
+
+
+def _default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _mp_context():
+    # fork is cheapest (no re-import, no pickling of initargs) and is
+    # available everywhere we run CI; fall back to the platform default.
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _chunk(items: Sequence, count: int) -> List[List]:
+    """Split into ``count`` contiguous chunks, sizes as even as possible."""
+    count = max(1, min(count, len(items)))
+    base, extra = divmod(len(items), count)
+    chunks: List[List] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+# -- extraction workers -------------------------------------------------------
+
+#: Per-process state, set up once by the pool initializer.
+_WORKER: Dict[str, object] = {}
+
+
+def _init_extract_worker(code: bytes, base_addr: int, config: ExtractionConfig) -> None:
+    _WORKER["executor"] = make_executor(code, base_addr, config)
+    _WORKER["config"] = config
+
+
+def _extract_chunk(candidates: List[int]) -> Tuple[bytes, float]:
+    """Run one candidate chunk; returns (pool bytes, wall seconds)."""
+    t0 = time.perf_counter()
+    records = run_candidates(
+        _WORKER["executor"],  # type: ignore[arg-type]
+        candidates,
+        _WORKER["config"],  # type: ignore[arg-type]
+    )
+    return pool_to_bytes(records), time.perf_counter() - t0
+
+
+def extract_pool(
+    image: BinaryImage,
+    config: Optional[ExtractionConfig] = None,
+    stats: Optional[ExtractionStats] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    image_bytes: Optional[bytes] = None,
+) -> List[GadgetRecord]:
+    """Extraction with optional sharding and persistent caching.
+
+    Byte-identical to :func:`repro.gadgets.extract.extract_gadgets` for
+    every ``jobs`` value (asserted in tests); ``jobs`` defaults to
+    ``os.cpu_count()``.
+    """
+    config = config or ExtractionConfig()
+    stats = stats if stats is not None else ExtractionStats()
+    t0 = time.perf_counter()
+
+    if cache is not None and image_bytes is None:
+        image_bytes = image.to_bytes()
+    if cache is not None:
+        hit = cache.load_pool("extract", image_bytes, config)
+        if hit is not None:
+            records, meta = hit
+            stats.cache_hits += 1
+            stats.candidates = int(meta.get("candidates", 0))
+            stats.semantically_culled = int(meta.get("semantically_culled", 0))
+            stats.records = len(records)
+            stats.wall_total += time.perf_counter() - t0
+            return records
+        stats.cache_misses += 1
+
+    graph, candidates = plan_candidates(image, config, stats)
+    jobs = jobs if jobs is not None else _default_jobs()
+    jobs = max(1, min(jobs, len(candidates) or 1))
+    stats.jobs = jobs
+
+    if jobs == 1:
+        executor = make_executor(image.text.data, image.text.addr, config, graph)
+        records = run_candidates(executor, candidates, config, stats)
+    else:
+        chunks = _chunk(candidates, jobs * 4)
+        ctx = _mp_context()
+        with ctx.Pool(
+            jobs,
+            initializer=_init_extract_worker,
+            initargs=(image.text.data, image.text.addr, config),
+        ) as pool:
+            results = pool.map(_extract_chunk, chunks, chunksize=1)
+        records = []
+        for blob, wall in results:
+            records.extend(pool_from_bytes(blob))
+            stats.wall_symex += wall
+        for new_id, record in enumerate(records):
+            record.gadget_id = new_id
+        stats.symex_invocations += len(candidates)
+
+    stats.records = len(records)
+    if cache is not None:
+        cache.store_pool(
+            "extract",
+            image_bytes,
+            config,
+            records,
+            meta={
+                "candidates": stats.candidates,
+                "semantically_culled": stats.semantically_culled,
+            },
+        )
+    stats.wall_total += time.perf_counter() - t0
+    return records
+
+
+# -- winnow workers -----------------------------------------------------------
+
+
+def _init_winnow_worker(exact: bool) -> None:
+    _WORKER["solver"] = Solver(max_conflicts=_WINNOW_MAX_CONFLICTS)
+    _WORKER["memo"] = {}
+    _WORKER["exact"] = exact
+
+
+def _winnow_chunk(bucket_blobs: List[bytes]) -> Tuple[bytes, int, int, int]:
+    """Winnow a chunk of serialized buckets.
+
+    Returns (survivor pool bytes in bucket order, solver_checks,
+    implication_queries, memo_hits).
+    """
+    solver: Solver = _WORKER["solver"]  # type: ignore[assignment]
+    memo: ImplicationMemo = _WORKER["memo"]  # type: ignore[assignment]
+    exact = bool(_WORKER["exact"])
+    local = SubsumptionStats()
+    survivors: List[GadgetRecord] = []
+    for blob in bucket_blobs:
+        bucket = pool_from_bytes(blob)
+        survivors.extend(winnow_bucket(bucket, solver, local, exact=exact, memo=memo))
+    return (
+        pool_to_bytes(survivors),
+        local.solver_checks,
+        local.implication_queries,
+        local.memo_hits,
+    )
+
+
+def winnow_pool(
+    records: Sequence[GadgetRecord],
+    stats: Optional[SubsumptionStats] = None,
+    *,
+    jobs: Optional[int] = None,
+    exact: bool = False,
+    solver: Optional[Solver] = None,
+    cache: Optional[ResultCache] = None,
+    image: Optional[BinaryImage] = None,
+    image_bytes: Optional[bytes] = None,
+    config: Optional[ExtractionConfig] = None,
+) -> List[GadgetRecord]:
+    """Winnowing with optional per-bucket sharding and caching.
+
+    Byte-identical to
+    :func:`repro.gadgets.subsumption.deduplicate_gadgets` for every
+    ``jobs`` value: subsumption decisions depend only on the records
+    (solver UNSAT answers are deterministic), never on which process or
+    memo evaluated them.
+
+    Caching keys on (image bytes, extraction config), the inputs the
+    extracted pool is itself a pure function of; both must be supplied
+    for the cache to engage.
+    """
+    stats = stats if stats is not None else SubsumptionStats()
+    t0 = time.perf_counter()
+
+    kind = "winnow-exact" if exact else "winnow"
+    can_cache = cache is not None and config is not None and (
+        image is not None or image_bytes is not None
+    )
+    if can_cache and image_bytes is None:
+        image_bytes = image.to_bytes()
+    if can_cache:
+        hit = cache.load_pool(kind, image_bytes, config)
+        if hit is not None:
+            survivors, meta = hit
+            stats.cache_hits += 1
+            stats.input_count = int(meta.get("input_count", len(records)))
+            stats.buckets = int(meta.get("buckets", 0))
+            stats.output_count = len(survivors)
+            stats.wall_total += time.perf_counter() - t0
+            return survivors
+        stats.cache_misses += 1
+
+    stats.input_count = len(records)
+    buckets = bucketize(records)
+    stats.buckets = len(buckets)
+
+    jobs = jobs if jobs is not None else _default_jobs()
+    jobs = max(1, min(jobs, len(buckets) or 1))
+    stats.jobs = jobs
+
+    if jobs == 1:
+        solver = solver or Solver(max_conflicts=_WINNOW_MAX_CONFLICTS)
+        memo: ImplicationMemo = {}
+        survivors: List[GadgetRecord] = []
+        for bucket in buckets:
+            survivors.extend(winnow_bucket(bucket, solver, stats, exact=exact, memo=memo))
+    else:
+        chunks = _chunk([pool_to_bytes(b) for b in buckets], jobs * 4)
+        ctx = _mp_context()
+        with ctx.Pool(jobs, initializer=_init_winnow_worker, initargs=(exact,)) as pool:
+            results = pool.map(_winnow_chunk, chunks, chunksize=1)
+        survivors = []
+        for blob, checks, queries, hits in results:
+            survivors.extend(pool_from_bytes(blob))
+            stats.solver_checks += checks
+            stats.implication_queries += queries
+            stats.memo_hits += hits
+
+    survivors.sort(key=lambda g: g.location)
+    stats.output_count = len(survivors)
+    if can_cache:
+        cache.store_pool(
+            kind,
+            image_bytes,
+            config,
+            survivors,
+            meta={"input_count": stats.input_count, "buckets": stats.buckets},
+        )
+    stats.wall_total += time.perf_counter() - t0
+    return survivors
+
+
+def run_pipeline(
+    image: BinaryImage,
+    config: Optional[ExtractionConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    winnow: bool = True,
+    extraction_stats: Optional[ExtractionStats] = None,
+    winnow_stats: Optional[SubsumptionStats] = None,
+) -> Tuple[List[GadgetRecord], Optional[List[GadgetRecord]]]:
+    """Extract (and optionally winnow) with shared jobs/cache settings.
+
+    Returns ``(extracted, winnowed-or-None)``.
+    """
+    config = config or ExtractionConfig()
+    image_bytes = image.to_bytes() if cache is not None else None
+    records = extract_pool(
+        image, config, extraction_stats, jobs=jobs, cache=cache, image_bytes=image_bytes
+    )
+    if not winnow:
+        return records, None
+    survivors = winnow_pool(
+        records,
+        winnow_stats,
+        jobs=jobs,
+        cache=cache,
+        image_bytes=image_bytes,
+        config=config,
+    )
+    return records, survivors

@@ -25,8 +25,10 @@ from typing import Dict, List, Optional, Sequence
 
 from ..binfmt.image import BinaryImage
 from ..solver.solver import Solver
-from ..gadgets.extract import ExtractionConfig, extract_gadgets
-from ..gadgets.subsumption import SubsumptionStats, deduplicate_gadgets
+from ..gadgets.extract import ExtractionConfig, ExtractionStats
+from ..gadgets.subsumption import SubsumptionStats
+from ..pipeline.cache import ResultCache
+from ..pipeline.parallel import extract_pool, winnow_pool
 from .conditions import MemCondition, RegCondition
 from .goals import (
     AttackGoal,
@@ -70,6 +72,7 @@ class PlannerReport:
     payloads: List[AttackPayload] = field(default_factory=list)
     per_goal: Dict[str, int] = field(default_factory=dict)
     timings: StageTimings = field(default_factory=StageTimings)
+    extraction_stats: ExtractionStats = field(default_factory=ExtractionStats)
     subsumption_stats: SubsumptionStats = field(default_factory=SubsumptionStats)
     search_stats: Dict[str, SearchStats] = field(default_factory=dict)
 
@@ -92,6 +95,8 @@ class GadgetPlanner:
         planner: Optional[PlannerConfig] = None,
         solver: Optional[Solver] = None,
         validate: bool = True,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         self.image = image
         self.extraction_config = extraction or ExtractionConfig()
@@ -100,6 +105,11 @@ class GadgetPlanner:
         # easy; a hard one returning UNKNOWN just skips that provider.
         self.solver = solver or Solver(max_conflicts=4000)
         self.validate = validate
+        # None keeps the historic single-process behavior; pass an
+        # explicit worker count (or a ResultCache) to opt into the
+        # repro.pipeline fast paths — the pools are byte-identical.
+        self.jobs = jobs if jobs is not None else 1
+        self.cache = cache
         self._locate_cache: Dict[int, Optional[int]] = {}
 
     def _word_locator(self, value: int) -> Optional[int]:
@@ -130,12 +140,28 @@ class GadgetPlanner:
         goals = list(goals) if goals is not None else standard_goals(self.image)
 
         t0 = time.perf_counter()
-        records = extract_gadgets(self.image, self.extraction_config)
+        image_bytes = self.image.to_bytes() if self.cache is not None else None
+        records = extract_pool(
+            self.image,
+            self.extraction_config,
+            report.extraction_stats,
+            jobs=self.jobs,
+            cache=self.cache,
+            image_bytes=image_bytes,
+        )
         report.gadgets_total = len(records)
         t1 = time.perf_counter()
         report.timings.extraction = t1 - t0
 
-        deduped = deduplicate_gadgets(records, solver=self.solver, stats=report.subsumption_stats)
+        deduped = winnow_pool(
+            records,
+            report.subsumption_stats,
+            jobs=self.jobs,
+            solver=self.solver,
+            cache=self.cache,
+            image_bytes=image_bytes,
+            config=self.extraction_config,
+        )
         report.gadgets_after_subsumption = len(deduped)
         library = GadgetLibrary.build(deduped)
         report.library_size = library.size

@@ -121,7 +121,13 @@ def _propagate_equalities(conjuncts: List[Bool]) -> tuple[List[Bool], Dict[str, 
 
 
 class Solver:
-    """Stateless checker over conjunctions of :class:`Bool` constraints."""
+    """Stateless checker over conjunctions of :class:`Bool` constraints.
+
+    "Stateless" semantically: every :meth:`check` answer depends only on
+    the constraints.  That makes the instance-level memo sound — repeat
+    queries (common during winnowing, where the same pre-condition pairs
+    recur across buckets) return the first answer verbatim.
+    """
 
     def __init__(
         self,
@@ -129,15 +135,45 @@ class Solver:
         max_conflicts: int = 200_000,
         sample_attempts: int = 24,
         rng_seed: int = 0x5EED,
+        memoize: bool = True,
+        memo_limit: int = 100_000,
     ) -> None:
         self.max_conflicts = max_conflicts
         self.sample_attempts = sample_attempts
         self._rng = random.Random(rng_seed)
+        self.memoize = memoize
+        self.memo_limit = memo_limit
+        self._memo: Dict[tuple, SolverResult] = {}
+        self.queries = 0
+        self.memo_hits = 0
 
     # -- public API -----------------------------------------------------------
 
     def check(self, constraints: Sequence[Bool]) -> SolverResult:
         """Decide satisfiability of the conjunction of ``constraints``."""
+        self.queries += 1
+        key = None
+        if self.memoize:
+            try:
+                key = tuple(constraints)
+            except TypeError:  # pragma: no cover - defensive
+                key = None
+            if key is not None and key in self._memo:
+                self.memo_hits += 1
+                cached = self._memo[key]
+                return SolverResult(cached.status, dict(cached.model))
+        result = self._check_uncached(constraints)
+        if key is not None:
+            if len(self._memo) >= self.memo_limit:
+                self._memo.clear()
+            self._memo[key] = SolverResult(result.status, dict(result.model))
+        return result
+
+    @property
+    def memo_hit_rate(self) -> float:
+        return self.memo_hits / self.queries if self.queries else 0.0
+
+    def _check_uncached(self, constraints: Sequence[Bool]) -> SolverResult:
         conjuncts = _flatten_conjuncts(constraints)
         residual, bindings, consistent = _propagate_equalities(conjuncts)
         if not consistent:

@@ -1,0 +1,254 @@
+"""repro.pipeline — determinism, serialization, and cache correctness.
+
+The performance layer's contract is strict: for any worker count the
+parallel pools are byte-identical to the serial reference paths, and a
+cache hit returns the identical pool while performing zero symbolic
+execution.  Everything here runs on small windows so tier-1 stays fast;
+the timing/speedup claims live in ``benchmarks/test_pipeline_perf.py``.
+"""
+
+import pytest
+
+from repro.bench.harness import build
+from repro.gadgets.extract import ExtractionConfig, ExtractionStats, extract_gadgets
+from repro.gadgets.record import GadgetRecord
+from repro.gadgets.subsumption import SubsumptionStats, deduplicate_gadgets
+from repro.pipeline import (
+    ResultCache,
+    extract_pool,
+    pool_from_bytes,
+    pool_to_bytes,
+    record_from_bytes,
+    record_to_bytes,
+    run_pipeline,
+    winnow_pool,
+)
+from repro.solver.solver import Solver
+from repro.symex.expr import bv_add, bv_const, bv_eq, bv_sym
+
+SMALL = ExtractionConfig(max_insns=5, max_paths=2)
+
+#: (program, obfuscation config) triple the determinism tests sweep —
+#: plain, LLVM-style, and Tigress-style builds exercise different
+#: gadget shapes (aligned/unaligned mixes, dispatcher chains).
+TARGETS = [
+    ("bubble_sort", "none"),
+    ("bubble_sort", "llvm_obf"),
+    ("binary_search", "tigress"),
+]
+
+
+def _image(name, config_name):
+    return build(name, config_name, 7).image
+
+
+# -- canonical serialization ------------------------------------------------
+
+
+def test_record_round_trip_identity():
+    image = _image("bubble_sort", "llvm_obf")
+    records = extract_gadgets(image, SMALL)
+    assert records, "need a non-empty pool to round-trip"
+    for record in records:
+        blob = record_to_bytes(record)
+        restored = record_from_bytes(blob)
+        assert restored == record
+        assert record_to_bytes(restored) == blob
+
+
+def test_record_methods_round_trip():
+    image = _image("bubble_sort", "none")
+    record = extract_gadgets(image, SMALL)[0]
+    restored = GadgetRecord.from_bytes(record.to_bytes())
+    assert restored == record
+    # Expressions restore to the exact same structure, not just equal
+    # values — pre/post survive another serialization byte for byte.
+    assert restored.to_bytes() == record.to_bytes()
+
+
+def test_pool_round_trip_and_determinism():
+    image = _image("bubble_sort", "llvm_obf")
+    records = extract_gadgets(image, SMALL)
+    blob = pool_to_bytes(records)
+    assert pool_to_bytes(pool_from_bytes(blob)) == blob
+    # Re-extracting yields the same bytes: the encoding is canonical.
+    assert pool_to_bytes(extract_gadgets(image, SMALL)) == blob
+
+
+# -- parallel == serial -----------------------------------------------------
+
+
+@pytest.mark.parametrize("name,config_name", TARGETS)
+def test_parallel_extraction_byte_identical(name, config_name):
+    image = _image(name, config_name)
+    serial = pool_to_bytes(extract_gadgets(image, SMALL))
+    for jobs in (1, 2, 4):
+        stats = ExtractionStats()
+        parallel = extract_pool(image, SMALL, stats, jobs=jobs)
+        assert pool_to_bytes(parallel) == serial, f"jobs={jobs}"
+        assert stats.jobs == jobs
+        assert stats.records == len(parallel)
+
+
+@pytest.mark.parametrize("name,config_name", TARGETS)
+def test_parallel_winnow_byte_identical(name, config_name):
+    image = _image(name, config_name)
+    records = extract_gadgets(image, SMALL)
+    ser_stats = SubsumptionStats()
+    serial = pool_to_bytes(deduplicate_gadgets(records, stats=ser_stats))
+    for jobs in (1, 2, 4):
+        stats = SubsumptionStats()
+        parallel = winnow_pool(records, stats, jobs=jobs)
+        assert pool_to_bytes(parallel) == serial, f"jobs={jobs}"
+        assert stats.solver_checks == ser_stats.solver_checks
+        assert stats.output_count == ser_stats.output_count
+
+
+# -- persistent cache -------------------------------------------------------
+
+
+def test_cache_hit_identical_and_skips_symex(tmp_path):
+    image = _image("bubble_sort", "llvm_obf")
+    cache = ResultCache(root=tmp_path)
+    cold_stats = ExtractionStats()
+    cold = extract_pool(image, SMALL, cold_stats, jobs=1, cache=cache)
+    assert cold_stats.cache_misses == 1 and cold_stats.symex_invocations > 0
+
+    warm_stats = ExtractionStats()
+    warm = extract_pool(image, SMALL, warm_stats, jobs=1, cache=cache)
+    assert pool_to_bytes(warm) == pool_to_bytes(cold)
+    assert warm_stats.cache_hits == 1
+    assert warm_stats.symex_invocations == 0, "warm run must not re-execute"
+    # Candidate/cull counters survive through the entry metadata.
+    assert warm_stats.candidates == cold_stats.candidates
+    assert warm_stats.semantically_culled == cold_stats.semantically_culled
+
+
+def test_cache_invalidates_on_image_and_config_change(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    image = _image("bubble_sort", "llvm_obf")
+    extract_pool(image, SMALL, jobs=1, cache=cache)
+
+    # Different image bytes -> different key -> miss.
+    other_stats = ExtractionStats()
+    extract_pool(_image("binary_search", "llvm_obf"), SMALL, other_stats, jobs=1, cache=cache)
+    assert other_stats.cache_hits == 0 and other_stats.cache_misses == 1
+
+    # Different config -> different key -> miss.
+    tweaked = ExtractionConfig(max_insns=SMALL.max_insns + 1, max_paths=SMALL.max_paths)
+    cfg_stats = ExtractionStats()
+    extract_pool(image, tweaked, cfg_stats, jobs=1, cache=cache)
+    assert cfg_stats.cache_hits == 0 and cfg_stats.cache_misses == 1
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    image = _image("bubble_sort", "none")
+    extract_pool(image, SMALL, jobs=1, cache=cache)
+    (entry,) = list(tmp_path.rglob("*.pool"))
+    entry.write_bytes(b"NFLC garbage")
+    stats = ExtractionStats()
+    records = extract_pool(image, SMALL, stats, jobs=1, cache=cache)
+    assert stats.cache_hits == 0 and stats.cache_misses == 1
+    assert records == extract_gadgets(image, SMALL)
+
+
+def test_winnow_cache_round_trip(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    image = _image("bubble_sort", "llvm_obf")
+    records = extract_gadgets(image, SMALL)
+    cold = winnow_pool(records, jobs=1, cache=cache, image=image, config=SMALL)
+    warm_stats = SubsumptionStats()
+    warm = winnow_pool(records, warm_stats, jobs=1, cache=cache, image=image, config=SMALL)
+    assert pool_to_bytes(warm) == pool_to_bytes(cold)
+    assert warm_stats.cache_hits == 1
+    assert warm_stats.solver_checks == 0, "warm winnow must not re-check"
+
+
+def test_run_pipeline_warm_end_to_end(tmp_path):
+    image = _image("bubble_sort", "llvm_obf")
+    cache = ResultCache(root=tmp_path)
+    cold_records, cold_survivors = run_pipeline(image, SMALL, jobs=2, cache=cache)
+    es, ss = ExtractionStats(), SubsumptionStats()
+    records, survivors = run_pipeline(
+        image, SMALL, jobs=2, cache=cache, extraction_stats=es, winnow_stats=ss
+    )
+    assert es.cache_hit and ss.cache_hit
+    assert es.symex_invocations == 0 and ss.solver_checks == 0
+    assert pool_to_bytes(records) == pool_to_bytes(cold_records)
+    assert pool_to_bytes(survivors) == pool_to_bytes(cold_survivors)
+
+
+# -- memoization ------------------------------------------------------------
+
+
+def test_solver_check_memo():
+    solver = Solver()
+    x = bv_sym("x")
+    query = [bv_eq(bv_add(x, bv_const(1)), bv_const(60))]
+    first = solver.check(query)
+    second = solver.check(query)
+    assert solver.queries == 2 and solver.memo_hits == 1
+    assert second.status == first.status and second.model == first.model
+    # The cached model is a copy: mutating it must not poison the memo.
+    second.model["x"] = 0
+    assert solver.check(query).model == first.model
+
+
+def test_winnow_memo_counters():
+    image = _image("bubble_sort", "llvm_obf")
+    records = extract_gadgets(image, ExtractionConfig(max_insns=6, max_paths=3))
+    stats = SubsumptionStats()
+    survivors = deduplicate_gadgets(records, stats=stats)
+    assert stats.memo_hits <= stats.implication_queries
+    assert 0.0 <= stats.memo_hit_rate <= 1.0
+    # The memo must not change the outcome.
+    assert pool_to_bytes(survivors) == pool_to_bytes(winnow_pool(records, jobs=1))
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_extract_cold_then_warm(tmp_path, capsys):
+    from repro.cli import main
+
+    image = _image("bubble_sort", "llvm_obf")
+    binary = tmp_path / "prog.nflf"
+    binary.write_bytes(image.to_bytes())
+    cache_dir = tmp_path / "cache"
+
+    argv = [
+        "extract",
+        str(binary),
+        "--max-insns",
+        "5",
+        "--max-paths",
+        "2",
+        "--jobs",
+        "2",
+        "--cache-dir",
+        str(cache_dir),
+    ]
+    assert main(argv) == 0
+    cold_out = capsys.readouterr().out
+    assert "cache=miss" in cold_out and "jobs=2" in cold_out
+
+    assert main(argv) == 0
+    warm_out = capsys.readouterr().out
+    assert "cache=hit" in warm_out and "symex=0" in warm_out
+    # Same pool either way: the summary head line is identical.
+    assert cold_out.splitlines()[0] == warm_out.splitlines()[0]
+
+
+def test_cli_census_semantic_no_cache(tmp_path, capsys):
+    from repro.cli import main
+
+    image = _image("bubble_sort", "none")
+    binary = tmp_path / "prog.nflf"
+    binary.write_bytes(image.to_bytes())
+    assert (
+        main(["census", str(binary), "--semantic", "--max-insns", "4", "--jobs", "1", "--no-cache"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "after subsumption" in out and "cache=off" in out
