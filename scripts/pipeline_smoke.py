@@ -1,9 +1,12 @@
 #!/usr/bin/env python
-"""CI smoke test for the repro.pipeline fast paths.
+"""CI smoke test for the repro.pipeline fast paths and trace export.
 
 Tiny binary, ``--jobs 2``: a cold run populates the cache, a warm run
 must hit it, perform zero symbolic execution, and return the identical
-pool.  Budgeted well under a minute on a 1-core runner.
+pool.  Both runs are recorded with ``repro.obs`` tracers; the cold
+trace is written to JSONL and validated against the trace schema, and
+two warm traces must agree byte for byte once timestamps are stripped.
+Budgeted well under a minute on a 1-core runner.
 """
 
 import sys
@@ -13,7 +16,25 @@ from pathlib import Path
 
 from repro.bench.harness import build
 from repro.gadgets.extract import ExtractionConfig, ExtractionStats
+from repro.obs import (
+    Tracer,
+    metrics,
+    reset_metrics,
+    strip_timestamps,
+    tracing,
+    validate_trace_file,
+)
 from repro.pipeline import ResultCache, extract_pool, pool_to_bytes
+
+
+def _traced_extract(image, config, cache):
+    stats = ExtractionStats()
+    reset_metrics()
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    with tracing(tracer):
+        records = extract_pool(image, config, stats, jobs=2, cache=cache)
+    return records, stats, time.perf_counter() - t0, tracer
 
 
 def main() -> int:
@@ -22,26 +43,35 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="nfl-smoke-") as td:
         cache = ResultCache(root=Path(td))
 
-        cold_stats = ExtractionStats()
-        t0 = time.perf_counter()
-        cold = extract_pool(image, config, cold_stats, jobs=2, cache=cache)
-        cold_wall = time.perf_counter() - t0
+        cold, cold_stats, cold_wall, cold_tracer = _traced_extract(image, config, cache)
+        trace_path = Path(td) / "cold.jsonl"
+        span_count = cold_tracer.write_jsonl(trace_path, metrics=metrics().to_dict())
+        spans = validate_trace_file(trace_path)
+        names = {s["name"] for s in spans}
 
-        warm_stats = ExtractionStats()
-        t0 = time.perf_counter()
-        warm = extract_pool(image, config, warm_stats, jobs=2, cache=cache)
-        warm_wall = time.perf_counter() - t0
+        warm, warm_stats, warm_wall, warm_tracer = _traced_extract(image, config, cache)
+        _, _, _, warm_tracer2 = _traced_extract(image, config, cache)
 
     print(
         f"cold: {len(cold)} gadgets in {cold_wall:.2f}s "
         f"(jobs={cold_stats.jobs}, symex={cold_stats.symex_invocations}) | "
         f"warm: {warm_wall:.3f}s "
-        f"(cache_hits={warm_stats.cache_hits}, symex={warm_stats.symex_invocations})"
+        f"(cache_hits={warm_stats.cache_hits}, symex={warm_stats.symex_invocations}) | "
+        f"trace: {span_count} spans"
     )
     assert cold_stats.cache_misses == 1, "cold run should miss the empty cache"
     assert warm_stats.cache_hits == 1, "warm run must reuse the cached pool"
     assert warm_stats.symex_invocations == 0, "warm run must not re-execute"
+    assert warm_stats.jobs == 2, "warm run must report the configured jobs"
     assert pool_to_bytes(warm) == pool_to_bytes(cold), "warm pool differs from cold"
+    assert {"extract", "extract.plan", "extract.symex"} <= names, f"trace missing stages: {names}"
+    assert any(s["name"] == "extract.symex.run" for s in spans), "no worker shard spans"
+    assert abs(spans[0]["wall"] - cold_stats.wall_total) <= 0.05 * max(
+        cold_stats.wall_total, 1e-9
+    ), "trace root wall must match span-derived stats"
+    assert strip_timestamps(warm_tracer.to_lines()) == strip_timestamps(
+        warm_tracer2.to_lines()
+    ), "warm traces must be byte-stable modulo timestamps"
     print("pipeline smoke OK")
     return 0
 

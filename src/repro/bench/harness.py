@@ -542,11 +542,14 @@ def pipeline_benchmark(
     for each), plus a cold/warm persistent-cache pair.  ``cpu_count``
     is recorded so a 1-core CI runner's ~1× "speedups" read as what
     they are — the honest-measurement policy applied to perf claims.
+
+    All wall numbers come from the span-derived ``wall_total`` stats
+    fields (:mod:`repro.obs`), the same measurements a ``--trace`` run
+    exports — not from a second ad-hoc clock around the calls.
     """
     import os
     import shutil
     import tempfile
-    import time as _time
 
     from ..gadgets.extract import ExtractionStats, extract_gadgets
     from ..gadgets.subsumption import SubsumptionStats, deduplicate_gadgets
@@ -566,12 +569,10 @@ def pipeline_benchmark(
 
     # Serial reference (the path every parallel run must reproduce).
     ser_es, ser_ss = ExtractionStats(), SubsumptionStats()
-    t0 = _time.perf_counter()
     serial_records = extract_gadgets(image, config, ser_es)
-    serial_extract_wall = _time.perf_counter() - t0
-    t0 = _time.perf_counter()
+    serial_extract_wall = ser_es.wall_total
     serial_survivors = deduplicate_gadgets(serial_records, stats=ser_ss)
-    serial_winnow_wall = _time.perf_counter() - t0
+    serial_winnow_wall = ser_ss.wall_total
     serial_pool = pool_to_bytes(serial_records)
     serial_winnowed = pool_to_bytes(serial_survivors)
     result["serial"] = {
@@ -585,12 +586,10 @@ def pipeline_benchmark(
 
     for jobs in jobs_list:
         es, ss = ExtractionStats(), SubsumptionStats()
-        t0 = _time.perf_counter()
         records = extract_pool(image, config, es, jobs=jobs)
-        extract_wall = _time.perf_counter() - t0
-        t0 = _time.perf_counter()
+        extract_wall = es.wall_total
         survivors = winnow_pool(records, ss, jobs=jobs)
-        winnow_wall = _time.perf_counter() - t0
+        winnow_wall = ss.wall_total
         result["runs"].append(
             {
                 "jobs": jobs,
@@ -608,20 +607,18 @@ def pipeline_benchmark(
     try:
         cache = ResultCache(root=root)
         cold_es, cold_ss = ExtractionStats(), SubsumptionStats()
-        t0 = _time.perf_counter()
         image_bytes = image.to_bytes()
         cold = extract_pool(image, config, cold_es, jobs=1, cache=cache, image_bytes=image_bytes)
         winnow_pool(
             cold, cold_ss, jobs=1, cache=cache, image_bytes=image_bytes, config=config
         )
-        cold_wall = _time.perf_counter() - t0
+        cold_wall = cold_es.wall_total + cold_ss.wall_total
         warm_es, warm_ss = ExtractionStats(), SubsumptionStats()
-        t0 = _time.perf_counter()
         warm = extract_pool(image, config, warm_es, jobs=1, cache=cache, image_bytes=image_bytes)
         winnow_pool(
             warm, warm_ss, jobs=1, cache=cache, image_bytes=image_bytes, config=config
         )
-        warm_wall = _time.perf_counter() - t0
+        warm_wall = warm_es.wall_total + warm_ss.wall_total
         result["cache"] = {
             "cold_seconds": cold_wall,
             "warm_seconds": warm_wall,

@@ -6,9 +6,10 @@
     nfl run prog.nflf [--step-limit N]
     nfl disasm prog.nflf [--start ADDR] [--count N]
     nfl gadgets prog.nflf [--types]
-    nfl extract prog.nflf [--jobs N] [--cache-dir PATH] [--no-cache]
-    nfl census prog.nflf [--static] [--semantic] [--jobs N]
-    nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--max-plans N]
+    nfl extract prog.nflf [--jobs N] [--cache-dir PATH] [--no-cache] [--trace FILE]
+    nfl census prog.nflf [--static] [--semantic] [--jobs N] [--trace FILE]
+    nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--max-plans N] [--trace FILE]
+    nfl trace trace.jsonl
     nfl study prog.mc [--configs none,llvm_obf,...]
     nfl lint prog.mc [--sources optarg,recv,...]
 
@@ -20,14 +21,23 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .binfmt.image import BinaryImage
 from .emulator.cpu import run_image
 from .gadgets.classify import count_by_type, scan_syntactic_gadgets, semantic_census
 from .gadgets.extract import ExtractionConfig, ExtractionStats
 from .gadgets.subsumption import SubsumptionStats
+from .obs import (
+    TraceSchemaError,
+    Tracer,
+    format_trace_summary,
+    metrics,
+    reset_metrics,
+    tracing,
+)
 from .pipeline import ResultCache, run_pipeline
 from .staticanalysis import (
     DEFAULT_SOURCES,
@@ -94,6 +104,23 @@ def cmd_gadgets(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _maybe_traced(args: argparse.Namespace) -> Iterator[Optional[Tracer]]:
+    """Record the command body under a tracer when ``--trace FILE`` was
+    given, writing the JSONL export (spans + final metrics snapshot) on
+    the way out.  Without the flag this is a no-op."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        yield None
+        return
+    reset_metrics()
+    tracer = Tracer()
+    with tracing(tracer):
+        yield tracer
+    spans = tracer.write_jsonl(trace_path, metrics=metrics().to_dict())
+    print(f"trace: {spans} spans written to {trace_path}", file=sys.stderr)
+
+
 def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     """The ResultCache the pipeline flags describe (None = --no-cache)."""
     if getattr(args, "no_cache", False):
@@ -124,15 +151,16 @@ def cmd_extract(args: argparse.Namespace) -> int:
     image = _load_image(args.binary)
     config = ExtractionConfig(max_insns=args.max_insns, max_paths=args.max_paths)
     es, ss = ExtractionStats(), SubsumptionStats()
-    records, survivors = run_pipeline(
-        image,
-        config,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-        winnow=not args.no_winnow,
-        extraction_stats=es,
-        winnow_stats=ss,
-    )
+    with _maybe_traced(args):
+        records, survivors = run_pipeline(
+            image,
+            config,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            winnow=not args.no_winnow,
+            extraction_stats=es,
+            winnow_stats=ss,
+        )
     if survivors is None:
         print(f"{len(records)} gadgets extracted")
         print(_pipeline_stats_line(es, None))
@@ -156,14 +184,15 @@ def cmd_census(args: argparse.Namespace) -> int:
     if args.semantic:
         config = ExtractionConfig(max_insns=args.max_insns)
         es, ss = ExtractionStats(), SubsumptionStats()
-        records, survivors = run_pipeline(
-            image,
-            config,
-            jobs=args.jobs,
-            cache=_make_cache(args),
-            extraction_stats=es,
-            winnow_stats=ss,
-        )
+        with _maybe_traced(args):
+            records, survivors = run_pipeline(
+                image,
+                config,
+                jobs=args.jobs,
+                cache=_make_cache(args),
+                extraction_stats=es,
+                winnow_stats=ss,
+            )
         print(f"{len(records)} semantic gadgets, {len(survivors)} after subsumption")
         print(_pipeline_stats_line(es, ss))
     return 0
@@ -192,7 +221,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
         extraction=ExtractionConfig(max_insns=args.max_insns),
         planner=PlannerConfig(max_plans=args.max_plans),
     )
-    report = planner.run(goals=goals)
+    with _maybe_traced(args):
+        report = planner.run(goals=goals)
     t = report.timings
     print(
         f"gadgets: {report.gadgets_total} extracted, "
@@ -205,6 +235,19 @@ def cmd_plan(args: argparse.Namespace) -> int:
         print()
         print(payload.describe())
     return 0 if report.total_payloads else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        lines = Path(args.trace_file).read_text().splitlines()
+        print(format_trace_summary(lines))
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except TraceSchemaError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_study(args: argparse.Namespace) -> int:
@@ -236,6 +279,15 @@ def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
         help="result cache root (default: ~/.cache/nfl or $NFL_CACHE_DIR)",
     )
     p.add_argument("--no-cache", action="store_true", help="disable the persistent result cache")
+    _add_trace_flag(p)
+
+
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a span/metrics trace (JSONL; inspect with `nfl trace FILE`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -297,7 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--goal", default="all", choices=["all", "execve", "mprotect", "mmap"])
     p.add_argument("--max-plans", type=int, default=8)
     p.add_argument("--max-insns", type=int, default=12)
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("trace", help="summarize a JSONL trace written by --trace")
+    p.add_argument("trace_file")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("study", help="per-config attack-surface study of one program")
     p.add_argument("source")

@@ -14,12 +14,13 @@ The emulator serves two roles in the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..binfmt.image import BinaryImage, STACK_SIZE, STACK_TOP
 from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import Instruction, Op
 from ..isa.registers import ALL_REGS, Flag, MASK64, Reg, to_signed
+from ..obs import span
 from .memory import Memory, MemoryFault, PERM_R, PERM_W, PERM_X
 from .syscalls import AttackTriggered, ProcessExit, SyscallHandler
 
@@ -117,6 +118,7 @@ class Emulator:
         stop_on_attack: bool = True,
         step_limit: int = 2_000_000,
         trace: bool = False,
+        step_hook: Optional[Callable[["Emulator", Instruction], None]] = None,
     ) -> None:
         self.image = image
         self.memory = Memory()
@@ -125,6 +127,11 @@ class Emulator:
         self.steps = 0
         self.trace_enabled = trace
         self.trace: List[Instruction] = []
+        #: Profiling hook: called as ``hook(emulator, insn)`` before
+        #: each instruction executes.  ``None`` (the default) costs one
+        #: attribute check per step; profilers/coverage tools install a
+        #: callable without subclassing the emulator.
+        self.step_hook = step_hook
         for sec in image.sections:
             perms = PERM_R
             if sec.writable:
@@ -196,6 +203,8 @@ class Emulator:
         insn = self.fetch()
         if self.trace_enabled:
             self.trace.append(insn)
+        if self.step_hook is not None:
+            self.step_hook(self, insn)
         self._execute(insn)
 
     def run(self) -> int:
@@ -364,5 +373,8 @@ class Emulator:
 def run_image(image: BinaryImage, *, step_limit: int = 2_000_000) -> tuple[int, bytes]:
     """Run an image to exit; return ``(status, stdout)``."""
     emu = Emulator(image, stop_on_attack=False, step_limit=step_limit)
-    status = emu.run()
+    with span("emulate.run") as sp:
+        status = emu.run()
+        sp.add("steps", emu.steps)
+        sp.add("syscall_events", len(emu.syscalls.events))
     return status, bytes(emu.syscalls.stdout)

@@ -85,6 +85,26 @@ class Memory:
     def perms_at(self, addr: int) -> int:
         return self._perms.get(addr & PAGE_MASK, 0)
 
+    def readable_run(self, addr: int, limit: int) -> int:
+        """Contiguous readable bytes starting at ``addr``, capped at
+        ``limit``.
+
+        Walks page permissions only — never allocates or copies — so a
+        guest-supplied multi-GiB ``limit`` costs O(mapped pages), not
+        O(limit).  Syscall models use this to clamp guest-controlled
+        lengths to what is actually mapped (partial-I/O semantics).
+        """
+        if limit <= 0:
+            return 0
+        run = 0
+        page = addr & PAGE_MASK
+        while self._perms.get(page, 0) & PERM_R:
+            run = min(limit, page + PAGE_SIZE - addr)
+            if run == limit:
+                break
+            page += PAGE_SIZE
+        return run
+
     def _page_for(self, addr: int, needed: int, kind: str) -> bytearray:
         page_addr = addr & PAGE_MASK
         perms = self._perms.get(page_addr)

@@ -36,9 +36,10 @@ class SyscallEvent:
     args: tuple
     #: Decoded convenience fields:
     path: Optional[bytes] = None  # execve path
-    addr: Optional[int] = None  # mprotect/mmap address
-    length: Optional[int] = None  # mprotect/mmap length
-    prot: Optional[int] = None  # protection bits
+    addr: Optional[int] = None  # mprotect/mmap/mremap address
+    length: Optional[int] = None  # mprotect/mmap length, mremap new_len
+    prot: Optional[int] = None  # protection bits (never set for mremap)
+    flags: Optional[int] = None  # mmap/mremap flags
 
     def is_shell_spawn(self, shell: bytes = b"/bin/sh") -> bool:
         return self.number == Sys.EXECVE and self.path == shell
@@ -92,20 +93,49 @@ class SyscallHandler:
             return self._attack_event(
                 SyscallEvent(Sys.MPROTECT, args[:3], addr=args[0], length=args[1], prot=args[2])
             )
-        if sys_no in (Sys.MMAP, Sys.MREMAP):
+        if sys_no == Sys.MMAP:
             return self._attack_event(
-                SyscallEvent(sys_no, args[:6], addr=args[0], length=args[1], prot=args[2])
+                SyscallEvent(
+                    Sys.MMAP,
+                    args[:6],
+                    addr=args[0],
+                    length=args[1],
+                    prot=args[2],
+                    flags=args[3],
+                )
+            )
+        if sys_no == Sys.MREMAP:
+            # mremap(old_addr, old_size, new_size, flags, new_addr) has
+            # no prot argument — decoding it like mmap mislabelled
+            # new_size/flags as prot and misreported the goal state.
+            return self._attack_event(
+                SyscallEvent(
+                    Sys.MREMAP,
+                    args[:5],
+                    addr=args[0],
+                    length=args[2],
+                    flags=args[3],
+                )
             )
         raise AssertionError(f"unhandled syscall {sys_no}")  # pragma: no cover
 
     def _sys_write(self, args: tuple) -> int:
         _fd, buf, count = args[0], args[1], args[2]
-        try:
-            data = self.memory.read(buf, count)
-        except MemoryFault:
+        if count == 0:
+            return 0
+        # Never trust the guest length: clamp to the contiguous mapped
+        # run so a corrupted payload asking for a multi-GiB read cannot
+        # OOM the host.  Like the kernel, write what is readable
+        # (partial-write semantics) and fault only when nothing is.
+        readable = self.memory.readable_run(buf, count)
+        if readable == 0:
             return -14 & ((1 << 64) - 1)  # -EFAULT
+        try:
+            data = self.memory.read(buf, readable)
+        except MemoryFault:  # pragma: no cover - readable_run said ok
+            return -14 & ((1 << 64) - 1)
         self.stdout += data
-        return count
+        return readable
 
     def _decode_execve(self, args: tuple) -> SyscallEvent:
         path_ptr = args[0]

@@ -28,13 +28,13 @@ so every byte of the section is decoded exactly once per extraction.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from ..analysis.cfg import recover_cfg
 from ..binfmt.image import BinaryImage
 from ..isa.instructions import Op
+from ..obs import metrics, span
 from ..staticanalysis.decode_graph import DecodeGraph
 from ..staticanalysis.window import WindowAnalyzer
 from ..symex.executor import SymbolicExecutor
@@ -60,7 +60,12 @@ class ExtractionConfig:
 
 @dataclass
 class ExtractionStats:
-    """Observability for the extraction stage (filled if passed in)."""
+    """Observability for the extraction stage (filled if passed in).
+
+    The ``wall_*`` fields are derived from :mod:`repro.obs` spans —
+    the same measurements a ``--trace`` run exports — so the CLI
+    summary, ``BENCH_*.json`` and the trace never disagree.
+    """
 
     candidates: int = 0  # after the syntactic stage
     semantically_culled: int = 0  # candidates the prefilter removed
@@ -193,19 +198,23 @@ def plan_candidates(
     """
     text = image.text
     graph = DecodeGraph(text.data, text.addr)
-    t0 = time.perf_counter()
-    candidates = candidate_offsets(image, config, graph)
-    t1 = time.perf_counter()
-    if stats is not None:
-        stats.candidates = len(candidates)
-        stats.wall_candidates += t1 - t0
-    if config.semantic_prefilter:
-        analyzer = WindowAnalyzer(graph, max_insns=config.max_insns)
-        kept = [a for a in candidates if analyzer.reaches_transfer(a)]
+    with span("extract.plan") as plan_sp:
+        with span("extract.candidates") as cand_sp:
+            candidates = candidate_offsets(image, config, graph)
+        cand_sp.add("candidates", len(candidates))
         if stats is not None:
-            stats.semantically_culled = len(candidates) - len(kept)
-            stats.wall_prefilter += time.perf_counter() - t1
-        candidates = kept
+            stats.candidates = len(candidates)
+            stats.wall_candidates += cand_sp.wall
+        if config.semantic_prefilter:
+            with span("extract.prefilter") as pre_sp:
+                analyzer = WindowAnalyzer(graph, max_insns=config.max_insns)
+                kept = [a for a in candidates if analyzer.reaches_transfer(a)]
+            pre_sp.add("culled", len(candidates) - len(kept))
+            if stats is not None:
+                stats.semantically_culled = len(candidates) - len(kept)
+                stats.wall_prefilter += pre_sp.wall
+            candidates = kept
+        plan_sp.add("candidates", len(candidates))
     return graph, candidates
 
 
@@ -247,21 +256,33 @@ def run_candidates(
     """
     records: List[GadgetRecord] = []
     gadget_id = start_id
-    t0 = time.perf_counter()
-    for addr in candidates:
-        if stats is not None:
-            stats.symex_invocations += 1
-        for path in executor.execute_paths(addr):
-            if not path.is_usable:
-                continue
-            if not config.include_conditional and path.conditional_jumps:
-                continue
-            if not config.merge_direct_jumps and path.merged_direct_jumps:
-                continue
-            records.append(record_from_path(gadget_id, path))
-            gadget_id += 1
+    steps_histogram = metrics().histogram("symex.steps_per_candidate")
+    insns_at_entry = executor.insns_executed
+    paths_at_entry = executor.paths_completed
+    with span("extract.symex.run") as sp:
+        for addr in candidates:
+            if stats is not None:
+                stats.symex_invocations += 1
+            steps_before = executor.insns_executed
+            for path in executor.execute_paths(addr):
+                if not path.is_usable:
+                    continue
+                if not config.include_conditional and path.conditional_jumps:
+                    continue
+                if not config.merge_direct_jumps and path.merged_direct_jumps:
+                    continue
+                records.append(record_from_path(gadget_id, path))
+                gadget_id += 1
+            steps_histogram.observe(executor.insns_executed - steps_before)
+        sp.add("candidates", len(candidates))
+        sp.add("records", len(records))
+        # Deltas, not lifetime totals: a pool worker reuses one executor
+        # across chunks, and chunk->process scheduling must not leak
+        # into the exported counters (trace byte-stability).
+        sp.add("insns", executor.insns_executed - insns_at_entry)
+        sp.add("paths", executor.paths_completed - paths_at_entry)
     if stats is not None:
-        stats.wall_symex += time.perf_counter() - t0
+        stats.wall_symex += sp.wall
     return records
 
 
@@ -278,11 +299,14 @@ def extract_gadgets(
     parallel pipeline is asserted byte-identical against.
     """
     config = config or ExtractionConfig()
-    t0 = time.perf_counter()
-    graph, candidates = plan_candidates(image, config, stats)
-    executor = make_executor(image.text.data, image.text.addr, config, graph)
-    records = run_candidates(executor, candidates, config, stats)
+    with span("extract") as root:
+        graph, candidates = plan_candidates(image, config, stats)
+        executor = make_executor(image.text.data, image.text.addr, config, graph)
+        with span("extract.symex") as sym_sp:
+            records = run_candidates(executor, candidates, config, stats)
+        sym_sp.add("records", len(records))
+        root.add("records", len(records))
     if stats is not None:
         stats.records = len(records)
-        stats.wall_total += time.perf_counter() - t0
+        stats.wall_total += root.wall
     return records

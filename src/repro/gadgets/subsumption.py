@@ -33,12 +33,12 @@ emitted payload is validated by concrete execution).
 from __future__ import annotations
 
 import hashlib
-import time
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.registers import ALL_REGS
+from ..obs import metrics, span
 from ..solver.solver import Solver
 from ..symex.expr import Bool, bool_and, bool_not, bv_eq, eval_bool, eval_bv
 from .record import GadgetRecord
@@ -241,7 +241,11 @@ def bucketize(records: Sequence[GadgetRecord]) -> List[List[GadgetRecord]]:
     buckets: Dict[Tuple, List[GadgetRecord]] = defaultdict(list)
     for record in records:
         buckets[fingerprint(record)].append(record)
-    return list(buckets.values())
+    out = list(buckets.values())
+    size_histogram = metrics().histogram("winnow.bucket_size")
+    for bucket in out:
+        size_histogram.observe(len(bucket))
+    return out
 
 
 def winnow_bucket(
@@ -289,16 +293,22 @@ def deduplicate_gadgets(
     solver = solver or Solver(max_conflicts=2000)
     stats = stats if stats is not None else SubsumptionStats()
     stats.input_count = len(records)
-    t0 = time.perf_counter()
+    with span("winnow") as root:
+        with span("winnow.bucketize") as bkt_sp:
+            buckets = bucketize(records)
+        bkt_sp.add("buckets", len(buckets))
+        stats.buckets = len(buckets)
 
-    buckets = bucketize(records)
-    stats.buckets = len(buckets)
-
-    memo: ImplicationMemo = {}
-    survivors: List[GadgetRecord] = []
-    for bucket in buckets:
-        survivors.extend(winnow_bucket(bucket, solver, stats, exact=exact, memo=memo))
-    survivors.sort(key=lambda g: g.location)
+        memo: ImplicationMemo = {}
+        survivors: List[GadgetRecord] = []
+        with span("winnow.buckets") as run_sp:
+            for bucket in buckets:
+                survivors.extend(winnow_bucket(bucket, solver, stats, exact=exact, memo=memo))
+            run_sp.add("solver_checks", stats.solver_checks)
+            run_sp.add("memo_hits", stats.memo_hits)
+        survivors.sort(key=lambda g: g.location)
+        root.add("input", stats.input_count)
+        root.add("output", len(survivors))
     stats.output_count = len(survivors)
-    stats.wall_total += time.perf_counter() - t0
+    stats.wall_total += root.wall
     return survivors

@@ -18,13 +18,19 @@ Workers exchange records via the canonical encoding in
 :mod:`repro.pipeline.serialize` rather than pickle, which keeps the
 "parallel == serial" property a one-line bytes comparison.  Either
 stage can short-circuit entirely through a :class:`ResultCache`.
+
+Observability rides the same channel: each worker chunk runs under its
+own :class:`repro.obs.Tracer` and ships its span tree (plus a metrics
+snapshot) back with the result blob.  The parent adopts the trees in
+chunk order — the merge is deterministic for the same reason the pool
+merge is — so a ``--trace`` export is byte-stable modulo timestamps
+for any worker count.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..binfmt.image import BinaryImage
@@ -42,7 +48,9 @@ from ..gadgets.subsumption import (
     bucketize,
     winnow_bucket,
 )
+from ..obs import Tracer, active_tracer, metrics, reset_metrics, span, tracing
 from ..solver.solver import Solver
+from ..staticanalysis.decode_graph import DecodeGraph
 from .cache import ResultCache
 from .serialize import pool_from_bytes, pool_to_bytes
 
@@ -81,20 +89,44 @@ def _chunk(items: Sequence, count: int) -> List[List]:
 _WORKER: Dict[str, object] = {}
 
 
-def _init_extract_worker(code: bytes, base_addr: int, config: ExtractionConfig) -> None:
-    _WORKER["executor"] = make_executor(code, base_addr, config)
+def _init_extract_worker(
+    code: bytes,
+    base_addr: int,
+    config: ExtractionConfig,
+    graph: Optional[DecodeGraph] = None,
+) -> None:
+    """Build the per-process executor.
+
+    ``graph`` is the decode graph ``plan_candidates`` already built in
+    the parent; under the fork start method it arrives for free (shared
+    copy-on-write pages), so workers preload its decode cache instead
+    of re-decoding the whole section each.  Spawn-style contexts pass
+    ``None`` and fall back to lazy decoding — either way the pools are
+    byte-identical, the cache only affects speed.
+    """
+    _WORKER["executor"] = make_executor(code, base_addr, config, graph)
     _WORKER["config"] = config
 
 
-def _extract_chunk(candidates: List[int]) -> Tuple[bytes, float]:
-    """Run one candidate chunk; returns (pool bytes, wall seconds)."""
-    t0 = time.perf_counter()
-    records = run_candidates(
-        _WORKER["executor"],  # type: ignore[arg-type]
-        candidates,
-        _WORKER["config"],  # type: ignore[arg-type]
-    )
-    return pool_to_bytes(records), time.perf_counter() - t0
+def _extract_chunk(item: Tuple[int, List[int]]) -> Tuple[bytes, dict, dict]:
+    """Run one candidate chunk.
+
+    Returns (pool bytes, span tree dict, metrics snapshot); the span
+    tree carries the chunk's wall/CPU time and counters back to the
+    parent trace.
+    """
+    index, candidates = item
+    reset_metrics()
+    tracer = Tracer()
+    with tracing(tracer):
+        records = run_candidates(
+            _WORKER["executor"],  # type: ignore[arg-type]
+            candidates,
+            _WORKER["config"],  # type: ignore[arg-type]
+        )
+    tree = tracer.roots[0].to_dict()
+    tree["counters"]["shard"] = index
+    return pool_to_bytes(records), tree, metrics().to_dict()
 
 
 def extract_pool(
@@ -114,60 +146,79 @@ def extract_pool(
     """
     config = config or ExtractionConfig()
     stats = stats if stats is not None else ExtractionStats()
-    t0 = time.perf_counter()
+    requested_jobs = jobs if jobs is not None else _default_jobs()
+    with span("extract") as root:
+        if cache is not None and image_bytes is None:
+            image_bytes = image.to_bytes()
+        if cache is not None:
+            with span("extract.cache") as cache_sp:
+                hit = cache.load_pool("extract", image_bytes, config)
+            if hit is not None:
+                records, meta = hit
+                cache_sp.add("hits", 1)
+                stats.cache_hits += 1
+                # A warm run still reports its configured worker count —
+                # zero symex jobs ran, but `jobs=0`-style summaries and
+                # BENCH artifacts must not misstate the configuration.
+                stats.jobs = requested_jobs
+                stats.candidates = int(meta.get("candidates", 0))
+                stats.semantically_culled = int(meta.get("semantically_culled", 0))
+                stats.records = len(records)
+                root.add("records", len(records))
+                root.add("cache_hit", 1)
+                stats.wall_total += root.wall_so_far()
+                return records
+            cache_sp.add("misses", 1)
+            stats.cache_misses += 1
 
-    if cache is not None and image_bytes is None:
-        image_bytes = image.to_bytes()
-    if cache is not None:
-        hit = cache.load_pool("extract", image_bytes, config)
-        if hit is not None:
-            records, meta = hit
-            stats.cache_hits += 1
-            stats.candidates = int(meta.get("candidates", 0))
-            stats.semantically_culled = int(meta.get("semantically_culled", 0))
-            stats.records = len(records)
-            stats.wall_total += time.perf_counter() - t0
-            return records
-        stats.cache_misses += 1
+        graph, candidates = plan_candidates(image, config, stats)
+        jobs = max(1, min(requested_jobs, len(candidates) or 1))
+        stats.jobs = jobs
 
-    graph, candidates = plan_candidates(image, config, stats)
-    jobs = jobs if jobs is not None else _default_jobs()
-    jobs = max(1, min(jobs, len(candidates) or 1))
-    stats.jobs = jobs
+        with span("extract.symex") as sym_sp:
+            if jobs == 1:
+                executor = make_executor(image.text.data, image.text.addr, config, graph)
+                records = run_candidates(executor, candidates, config, stats)
+            else:
+                chunks = _chunk(candidates, jobs * 4)
+                ctx = _mp_context()
+                graph_arg = graph if ctx.get_start_method() == "fork" else None
+                with ctx.Pool(
+                    jobs,
+                    initializer=_init_extract_worker,
+                    initargs=(image.text.data, image.text.addr, config, graph_arg),
+                ) as pool:
+                    results = pool.map(_extract_chunk, list(enumerate(chunks)), chunksize=1)
+                tracer = active_tracer()
+                registry = metrics()
+                records = []
+                for blob, tree, snapshot in results:
+                    records.extend(pool_from_bytes(blob))
+                    stats.wall_symex += float(tree["wall"])
+                    if tracer is not None:
+                        tracer.adopt(tree, parent=sym_sp)
+                    registry.merge(snapshot)
+                for new_id, record in enumerate(records):
+                    record.gadget_id = new_id
+                stats.symex_invocations += len(candidates)
+                sym_sp.add("shards", len(chunks))
+            sym_sp.add("records", len(records))
 
-    if jobs == 1:
-        executor = make_executor(image.text.data, image.text.addr, config, graph)
-        records = run_candidates(executor, candidates, config, stats)
-    else:
-        chunks = _chunk(candidates, jobs * 4)
-        ctx = _mp_context()
-        with ctx.Pool(
-            jobs,
-            initializer=_init_extract_worker,
-            initargs=(image.text.data, image.text.addr, config),
-        ) as pool:
-            results = pool.map(_extract_chunk, chunks, chunksize=1)
-        records = []
-        for blob, wall in results:
-            records.extend(pool_from_bytes(blob))
-            stats.wall_symex += wall
-        for new_id, record in enumerate(records):
-            record.gadget_id = new_id
-        stats.symex_invocations += len(candidates)
-
-    stats.records = len(records)
-    if cache is not None:
-        cache.store_pool(
-            "extract",
-            image_bytes,
-            config,
-            records,
-            meta={
-                "candidates": stats.candidates,
-                "semantically_culled": stats.semantically_culled,
-            },
-        )
-    stats.wall_total += time.perf_counter() - t0
+        stats.records = len(records)
+        root.add("records", len(records))
+        if cache is not None:
+            with span("extract.cache.store"):
+                cache.store_pool(
+                    "extract",
+                    image_bytes,
+                    config,
+                    records,
+                    meta={
+                        "candidates": stats.candidates,
+                        "semantically_culled": stats.semantically_culled,
+                    },
+                )
+    stats.wall_total += root.wall
     return records
 
 
@@ -180,26 +231,35 @@ def _init_winnow_worker(exact: bool) -> None:
     _WORKER["exact"] = exact
 
 
-def _winnow_chunk(bucket_blobs: List[bytes]) -> Tuple[bytes, int, int, int]:
+def _winnow_chunk(item: Tuple[int, List[bytes]]) -> Tuple[bytes, dict, dict, dict]:
     """Winnow a chunk of serialized buckets.
 
-    Returns (survivor pool bytes in bucket order, solver_checks,
-    implication_queries, memo_hits).
+    Returns (survivor pool bytes in bucket order, local stat counters,
+    span tree dict, metrics snapshot).
     """
+    index, bucket_blobs = item
     solver: Solver = _WORKER["solver"]  # type: ignore[assignment]
     memo: ImplicationMemo = _WORKER["memo"]  # type: ignore[assignment]
     exact = bool(_WORKER["exact"])
     local = SubsumptionStats()
     survivors: List[GadgetRecord] = []
-    for blob in bucket_blobs:
-        bucket = pool_from_bytes(blob)
-        survivors.extend(winnow_bucket(bucket, solver, local, exact=exact, memo=memo))
-    return (
-        pool_to_bytes(survivors),
-        local.solver_checks,
-        local.implication_queries,
-        local.memo_hits,
-    )
+    reset_metrics()
+    tracer = Tracer()
+    with tracing(tracer):
+        with span("winnow.buckets.run") as sp:
+            for blob in bucket_blobs:
+                bucket = pool_from_bytes(blob)
+                survivors.extend(winnow_bucket(bucket, solver, local, exact=exact, memo=memo))
+            sp.add("shard", index)
+            sp.add("buckets", len(bucket_blobs))
+            sp.add("survivors", len(survivors))
+            sp.add("solver_checks", local.solver_checks)
+    counters = {
+        "solver_checks": local.solver_checks,
+        "implication_queries": local.implication_queries,
+        "memo_hits": local.memo_hits,
+    }
+    return pool_to_bytes(survivors), counters, tracer.roots[0].to_dict(), metrics().to_dict()
 
 
 def winnow_pool(
@@ -227,63 +287,87 @@ def winnow_pool(
     for the cache to engage.
     """
     stats = stats if stats is not None else SubsumptionStats()
-    t0 = time.perf_counter()
-
+    requested_jobs = jobs if jobs is not None else _default_jobs()
     kind = "winnow-exact" if exact else "winnow"
     can_cache = cache is not None and config is not None and (
         image is not None or image_bytes is not None
     )
-    if can_cache and image_bytes is None:
-        image_bytes = image.to_bytes()
-    if can_cache:
-        hit = cache.load_pool(kind, image_bytes, config)
-        if hit is not None:
-            survivors, meta = hit
-            stats.cache_hits += 1
-            stats.input_count = int(meta.get("input_count", len(records)))
-            stats.buckets = int(meta.get("buckets", 0))
-            stats.output_count = len(survivors)
-            stats.wall_total += time.perf_counter() - t0
-            return survivors
-        stats.cache_misses += 1
+    with span("winnow") as root:
+        if can_cache and image_bytes is None:
+            image_bytes = image.to_bytes()
+        if can_cache:
+            with span("winnow.cache") as cache_sp:
+                hit = cache.load_pool(kind, image_bytes, config)
+            if hit is not None:
+                survivors, meta = hit
+                cache_sp.add("hits", 1)
+                stats.cache_hits += 1
+                stats.jobs = requested_jobs  # see extract_pool: true config
+                stats.input_count = int(meta.get("input_count", len(records)))
+                stats.buckets = int(meta.get("buckets", 0))
+                stats.output_count = len(survivors)
+                root.add("output", len(survivors))
+                root.add("cache_hit", 1)
+                stats.wall_total += root.wall_so_far()
+                return survivors
+            cache_sp.add("misses", 1)
+            stats.cache_misses += 1
 
-    stats.input_count = len(records)
-    buckets = bucketize(records)
-    stats.buckets = len(buckets)
+        stats.input_count = len(records)
+        with span("winnow.bucketize") as bkt_sp:
+            buckets = bucketize(records)
+        bkt_sp.add("buckets", len(buckets))
+        stats.buckets = len(buckets)
 
-    jobs = jobs if jobs is not None else _default_jobs()
-    jobs = max(1, min(jobs, len(buckets) or 1))
-    stats.jobs = jobs
+        jobs = max(1, min(requested_jobs, len(buckets) or 1))
+        stats.jobs = jobs
 
-    if jobs == 1:
-        solver = solver or Solver(max_conflicts=_WINNOW_MAX_CONFLICTS)
-        memo: ImplicationMemo = {}
-        survivors: List[GadgetRecord] = []
-        for bucket in buckets:
-            survivors.extend(winnow_bucket(bucket, solver, stats, exact=exact, memo=memo))
-    else:
-        chunks = _chunk([pool_to_bytes(b) for b in buckets], jobs * 4)
-        ctx = _mp_context()
-        with ctx.Pool(jobs, initializer=_init_winnow_worker, initargs=(exact,)) as pool:
-            results = pool.map(_winnow_chunk, chunks, chunksize=1)
-        survivors = []
-        for blob, checks, queries, hits in results:
-            survivors.extend(pool_from_bytes(blob))
-            stats.solver_checks += checks
-            stats.implication_queries += queries
-            stats.memo_hits += hits
+        with span("winnow.buckets") as run_sp:
+            if jobs == 1:
+                solver = solver or Solver(max_conflicts=_WINNOW_MAX_CONFLICTS)
+                memo: ImplicationMemo = {}
+                survivors: List[GadgetRecord] = []
+                with span("winnow.buckets.run") as sp:
+                    for bucket in buckets:
+                        survivors.extend(
+                            winnow_bucket(bucket, solver, stats, exact=exact, memo=memo)
+                        )
+                    sp.add("buckets", len(buckets))
+                    sp.add("survivors", len(survivors))
+                    sp.add("solver_checks", stats.solver_checks)
+            else:
+                chunks = _chunk([pool_to_bytes(b) for b in buckets], jobs * 4)
+                ctx = _mp_context()
+                with ctx.Pool(jobs, initializer=_init_winnow_worker, initargs=(exact,)) as pool:
+                    results = pool.map(_winnow_chunk, list(enumerate(chunks)), chunksize=1)
+                tracer = active_tracer()
+                registry = metrics()
+                survivors = []
+                for blob, counters, tree, snapshot in results:
+                    survivors.extend(pool_from_bytes(blob))
+                    stats.solver_checks += counters["solver_checks"]
+                    stats.implication_queries += counters["implication_queries"]
+                    stats.memo_hits += counters["memo_hits"]
+                    if tracer is not None:
+                        tracer.adopt(tree, parent=run_sp)
+                    registry.merge(snapshot)
+                run_sp.add("shards", len(chunks))
+            run_sp.add("solver_checks", stats.solver_checks)
 
-    survivors.sort(key=lambda g: g.location)
-    stats.output_count = len(survivors)
-    if can_cache:
-        cache.store_pool(
-            kind,
-            image_bytes,
-            config,
-            survivors,
-            meta={"input_count": stats.input_count, "buckets": stats.buckets},
-        )
-    stats.wall_total += time.perf_counter() - t0
+        survivors.sort(key=lambda g: g.location)
+        stats.output_count = len(survivors)
+        root.add("input", stats.input_count)
+        root.add("output", len(survivors))
+        if can_cache:
+            with span("winnow.cache.store"):
+                cache.store_pool(
+                    kind,
+                    image_bytes,
+                    config,
+                    survivors,
+                    meta={"input_count": stats.input_count, "buckets": stats.buckets},
+                )
+    stats.wall_total += root.wall
     return survivors
 
 
@@ -299,21 +383,24 @@ def run_pipeline(
 ) -> Tuple[List[GadgetRecord], Optional[List[GadgetRecord]]]:
     """Extract (and optionally winnow) with shared jobs/cache settings.
 
-    Returns ``(extracted, winnowed-or-None)``.
+    Returns ``(extracted, winnowed-or-None)``.  Under an active tracer
+    the whole run lands beneath one ``pipeline`` root span with the
+    ``extract`` and ``winnow`` trees as children.
     """
     config = config or ExtractionConfig()
-    image_bytes = image.to_bytes() if cache is not None else None
-    records = extract_pool(
-        image, config, extraction_stats, jobs=jobs, cache=cache, image_bytes=image_bytes
-    )
-    if not winnow:
-        return records, None
-    survivors = winnow_pool(
-        records,
-        winnow_stats,
-        jobs=jobs,
-        cache=cache,
-        image_bytes=image_bytes,
-        config=config,
-    )
+    with span("pipeline"):
+        image_bytes = image.to_bytes() if cache is not None else None
+        records = extract_pool(
+            image, config, extraction_stats, jobs=jobs, cache=cache, image_bytes=image_bytes
+        )
+        if not winnow:
+            return records, None
+        survivors = winnow_pool(
+            records,
+            winnow_stats,
+            jobs=jobs,
+            cache=cache,
+            image_bytes=image_bytes,
+            config=config,
+        )
     return records, survivors

@@ -19,11 +19,11 @@ Example::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..binfmt.image import BinaryImage
+from ..obs import span
 from ..solver.solver import Solver
 from ..gadgets.extract import ExtractionConfig, ExtractionStats
 from ..gadgets.subsumption import SubsumptionStats
@@ -50,7 +50,12 @@ from .search import PlannerConfig, SearchStats, search_plans
 
 @dataclass
 class StageTimings:
-    """Wall-clock per stage (Table VII)."""
+    """Wall-clock per stage (Table VII).
+
+    Each field is the wall time of the matching :mod:`repro.obs` stage
+    span (``plan.extract`` / ``plan.winnow`` / ``plan.goals`` /
+    ``plan.assemble``), so the report and a ``--trace`` export agree.
+    """
 
     extraction: float = 0.0
     subsumption: float = 0.0
@@ -139,76 +144,83 @@ class GadgetPlanner:
         report = PlannerReport()
         goals = list(goals) if goals is not None else standard_goals(self.image)
 
-        t0 = time.perf_counter()
-        image_bytes = self.image.to_bytes() if self.cache is not None else None
-        records = extract_pool(
-            self.image,
-            self.extraction_config,
-            report.extraction_stats,
-            jobs=self.jobs,
-            cache=self.cache,
-            image_bytes=image_bytes,
-        )
-        report.gadgets_total = len(records)
-        t1 = time.perf_counter()
-        report.timings.extraction = t1 - t0
+        with span("plan") as plan_root:
+            with span("plan.extract") as extract_sp:
+                image_bytes = self.image.to_bytes() if self.cache is not None else None
+                records = extract_pool(
+                    self.image,
+                    self.extraction_config,
+                    report.extraction_stats,
+                    jobs=self.jobs,
+                    cache=self.cache,
+                    image_bytes=image_bytes,
+                )
+            report.gadgets_total = len(records)
+            report.timings.extraction = extract_sp.wall
 
-        deduped = winnow_pool(
-            records,
-            report.subsumption_stats,
-            jobs=self.jobs,
-            solver=self.solver,
-            cache=self.cache,
-            image_bytes=image_bytes,
-            config=self.extraction_config,
-        )
-        report.gadgets_after_subsumption = len(deduped)
-        library = GadgetLibrary.build(deduped)
-        report.library_size = library.size
-        t2 = time.perf_counter()
-        report.timings.subsumption = t2 - t1
+            with span("plan.winnow") as winnow_sp:
+                deduped = winnow_pool(
+                    records,
+                    report.subsumption_stats,
+                    jobs=self.jobs,
+                    solver=self.solver,
+                    cache=self.cache,
+                    image_bytes=image_bytes,
+                    config=self.extraction_config,
+                )
+                report.gadgets_after_subsumption = len(deduped)
+                library = GadgetLibrary.build(deduped)
+                report.library_size = library.size
+            report.timings.subsumption = winnow_sp.wall
 
-        complete: List[tuple] = []  # (resolved goal, plan)
-        for goal in goals:
-            try:
-                resolved = resolve_goal(self.image, goal)
-            except ValueError:
-                report.per_goal[goal.name] = 0
-                continue
-            stats = SearchStats()
-            report.search_stats[goal.name] = stats
-            for plan in search_plans(
-                library,
-                resolved,
-                solver=self.solver,
-                config=self.planner_config,
-                stats=stats,
-                locator=self._word_locator,
-            ):
-                complete.append((resolved, plan))
-        t3 = time.perf_counter()
-        report.timings.planning = t3 - t2
+            complete: List[tuple] = []  # (resolved goal, plan)
+            with span("plan.goals") as goals_sp:
+                for goal in goals:
+                    try:
+                        resolved = resolve_goal(self.image, goal)
+                    except ValueError:
+                        report.per_goal[goal.name] = 0
+                        continue
+                    stats = SearchStats()
+                    report.search_stats[goal.name] = stats
+                    for plan in search_plans(
+                        library,
+                        resolved,
+                        solver=self.solver,
+                        config=self.planner_config,
+                        stats=stats,
+                        locator=self._word_locator,
+                    ):
+                        complete.append((resolved, plan))
+                goals_sp.add("goals", len(goals))
+                goals_sp.add("complete_plans", len(complete))
+            report.timings.planning = goals_sp.wall
 
-        seen_chains = set()
-        for resolved, plan in complete:
-            try:
-                payload = assemble_payload(plan, resolved, solver=self.solver)
-            except AssemblyError:
-                continue
-            # Count *distinct* chains: two linearizations of the same
-            # gadget set are one payload, not two.
-            key = (resolved.goal.name, frozenset(g.location for g in payload.chain))
-            if key in seen_chains:
-                continue
-            if self.validate:
-                if not validate_payload(self.image, payload, resolved):
-                    continue
-            seen_chains.add(key)
-            report.payloads.append(payload)
-            report.per_goal[resolved.goal.name] = report.per_goal.get(resolved.goal.name, 0) + 1
-        for goal in goals:
-            report.per_goal.setdefault(goal.name, 0)
-        report.timings.postprocessing = time.perf_counter() - t3
+            with span("plan.assemble") as asm_sp:
+                seen_chains = set()
+                for resolved, plan in complete:
+                    try:
+                        payload = assemble_payload(plan, resolved, solver=self.solver)
+                    except AssemblyError:
+                        continue
+                    # Count *distinct* chains: two linearizations of the
+                    # same gadget set are one payload, not two.
+                    key = (resolved.goal.name, frozenset(g.location for g in payload.chain))
+                    if key in seen_chains:
+                        continue
+                    if self.validate:
+                        if not validate_payload(self.image, payload, resolved):
+                            continue
+                    seen_chains.add(key)
+                    report.payloads.append(payload)
+                    report.per_goal[resolved.goal.name] = (
+                        report.per_goal.get(resolved.goal.name, 0) + 1
+                    )
+                for goal in goals:
+                    report.per_goal.setdefault(goal.name, 0)
+                asm_sp.add("payloads", len(report.payloads))
+            report.timings.postprocessing = asm_sp.wall
+            plan_root.add("payloads", len(report.payloads))
         return report
 
 

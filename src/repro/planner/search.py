@@ -15,6 +15,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from ..obs import span
 from ..solver.solver import Solver
 from .conditions import (
     MemCondition,
@@ -110,25 +111,37 @@ def search_plans(
     def push(plan: PartialPlan) -> None:
         heapq.heappush(queue, (plan.priority_key(), next(counter), plan))
 
-    for seed in _seed_plans(library, resolved, solver, config):
-        stats.seeds += 1
-        push(seed)
+    # The span brackets the whole search, staying open across yields
+    # (this is a generator); counters are stamped in the finally so an
+    # abandoned search still reports the work it did.
+    search_sp = span("plan.search")
+    search_sp.__enter__()
+    try:
+        for seed in _seed_plans(library, resolved, solver, config):
+            stats.seeds += 1
+            push(seed)
 
-    emitted = 0
-    while queue and stats.nodes_expanded < config.max_nodes and emitted < config.max_plans:
-        _, _, plan = heapq.heappop(queue)
-        if plan.is_complete:
-            emitted += 1
-            stats.plans_emitted += 1
-            yield plan
-            continue
-        stats.nodes_expanded += 1
-        open_cond = plan.open_conds[0]
-        successors = list(_expand(plan, open_cond, library, solver, config, locator))
-        if not successors:
-            stats.dead_ends += 1
-        for successor in successors:
-            push(successor)
+        emitted = 0
+        while queue and stats.nodes_expanded < config.max_nodes and emitted < config.max_plans:
+            _, _, plan = heapq.heappop(queue)
+            if plan.is_complete:
+                emitted += 1
+                stats.plans_emitted += 1
+                yield plan
+                continue
+            stats.nodes_expanded += 1
+            open_cond = plan.open_conds[0]
+            successors = list(_expand(plan, open_cond, library, solver, config, locator))
+            if not successors:
+                stats.dead_ends += 1
+            for successor in successors:
+                push(successor)
+    finally:
+        search_sp.add("seeds", stats.seeds)
+        search_sp.add("nodes_expanded", stats.nodes_expanded)
+        search_sp.add("plans_emitted", stats.plans_emitted)
+        search_sp.add("dead_ends", stats.dead_ends)
+        search_sp.__exit__(None, None, None)
 
 
 def _expand(

@@ -17,19 +17,32 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class SATResult:
-    """Outcome of a :meth:`SATSolver.solve` call."""
+    """Outcome of a :meth:`SATSolver.solve` call.
 
-    __slots__ = ("satisfiable", "model")
+    ``conflicts`` reports the CDCL conflicts the verdict cost — the
+    effort signal the observability layer histograms per check.
+    """
 
-    def __init__(self, satisfiable: bool, model: Optional[Dict[int, bool]] = None):
+    __slots__ = ("satisfiable", "model", "conflicts")
+
+    def __init__(
+        self,
+        satisfiable: bool,
+        model: Optional[Dict[int, bool]] = None,
+        conflicts: int = 0,
+    ):
         self.satisfiable = satisfiable
         self.model = model or {}
+        self.conflicts = conflicts
 
     def __bool__(self) -> bool:
         return self.satisfiable
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SATResult(sat={self.satisfiable}, |model|={len(self.model)})"
+        return (
+            f"SATResult(sat={self.satisfiable}, |model|={len(self.model)}, "
+            f"conflicts={self.conflicts})"
+        )
 
 
 def _luby(i: int) -> int:
@@ -261,7 +274,7 @@ class SATSolver:
                 if max_conflicts is not None and conflicts > max_conflicts:
                     raise SATBudgetExceeded(conflicts)
                 if not self._trail_lim:
-                    return SATResult(False)
+                    return SATResult(False, conflicts=conflicts)
                 learned, back_level = self._analyze(conflict)
                 self._backjump(back_level)
                 if len(learned) == 1:
@@ -284,7 +297,7 @@ class SATSolver:
                     model = dict(self.assignment)
                     for var in range(1, self.num_vars + 1):
                         model.setdefault(var, False)
-                    return SATResult(True, model)
+                    return SATResult(True, model, conflicts=conflicts)
                 self._trail_lim.append(len(self._trail))
                 self._assign(decision, reason=None)
 

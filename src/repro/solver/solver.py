@@ -40,6 +40,7 @@ from ..symex.expr import (
     free_symbols,
     substitute,
 )
+from ..obs import metrics
 from .bitblast import BitBlaster, BlastError
 from .sat import SATBudgetExceeded, SATSolver
 
@@ -146,6 +147,9 @@ class Solver:
         self._memo: Dict[tuple, SolverResult] = {}
         self.queries = 0
         self.memo_hits = 0
+        self.sat_calls = 0  # checks that fell through to bit-blasting
+        self.sat_conflicts = 0  # CDCL conflicts spent across those calls
+        self.unknowns = 0  # budget/blast failures answered UNKNOWN
 
     # -- public API -----------------------------------------------------------
 
@@ -229,17 +233,28 @@ class Solver:
     def _check_with_sat(
         self, conjuncts: List[Bool], symbols: List[str], bindings: Dict[str, int]
     ) -> SolverResult:
+        self.sat_calls += 1
+        registry = metrics()
+        registry.counter("solver.sat_calls").inc()
         sat = SATSolver()
         blaster = BitBlaster(sat)
         try:
             for c in conjuncts:
                 blaster.assert_bool(c)
         except BlastError:
+            self.unknowns += 1
+            registry.counter("solver.unknowns").inc()
             return SolverResult(Status.UNKNOWN)
         try:
             result = sat.solve(max_conflicts=self.max_conflicts)
-        except SATBudgetExceeded:
+        except SATBudgetExceeded as budget:
+            self.unknowns += 1
+            self.sat_conflicts += budget.conflicts
+            registry.counter("solver.unknowns").inc()
+            registry.histogram("solver.conflicts_per_check").observe(budget.conflicts)
             return SolverResult(Status.UNKNOWN)
+        self.sat_conflicts += result.conflicts
+        registry.histogram("solver.conflicts_per_check").observe(result.conflicts)
         if not result.satisfiable:
             return SolverResult(Status.UNSAT)
         model = {name: blaster.extract_value(name, result.model) for name in symbols}

@@ -103,6 +103,10 @@ class SymbolicExecutor:
         # Gadget windows overlap heavily (every suffix is probed too),
         # so memoize decoding per address.
         self._decode_cache: dict = {}
+        #: Lifetime observability counters (read by extraction spans):
+        #: symbolic instructions stepped and paths completed (any end).
+        self.insns_executed = 0
+        self.paths_completed = 0
 
     def preload_decode_cache(self, cache: dict) -> None:
         """Adopt an externally built addr → Instruction|None cache
@@ -130,7 +134,9 @@ class SymbolicExecutor:
         ]
         while work and len(summaries) < self.max_paths:
             pending = work.pop()
-            summaries.extend(self._run_path(pending, work))
+            completed = self._run_path(pending, work)
+            self.paths_completed += len(completed)
+            summaries.extend(completed)
         return summaries
 
     def _run_path(self, pending: _Pending, work: List[_Pending]) -> List[PathSummary]:
@@ -144,6 +150,7 @@ class SymbolicExecutor:
             if insn is None:
                 return [self._dead(pending.addr if not insns else insns[0].addr, insns, state, merged, conds)]
             insns = insns + [insn]
+            self.insns_executed += 1
             op = insn.op
 
             if op == Op.RET:

@@ -149,3 +149,41 @@ def test_unknown_config_rejected(tmp_path, capsys):
     src.write_text(SOURCE)
     with pytest.raises(SystemExit):
         main(["cc", str(src), "--obfuscate", "nonsense"])
+
+
+def test_extract_trace_flag_writes_valid_jsonl(compiled, tmp_path, capsys):
+    from repro.obs import validate_trace_file
+
+    trace = tmp_path / "t.jsonl"
+    assert (
+        main(
+            ["extract", str(compiled), "--max-insns", "4", "--jobs", "1",
+             "--no-cache", "--trace", str(trace)]
+        )
+        == 0
+    )
+    spans = validate_trace_file(trace)
+    names = {s["name"] for s in spans}
+    assert {"pipeline", "extract", "extract.symex", "winnow"} <= names
+    captured = capsys.readouterr()
+    assert "spans written" in captured.err
+
+
+def test_trace_subcommand_summarizes(compiled, tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    main(["extract", str(compiled), "--max-insns", "4", "--jobs", "1",
+          "--no-cache", "--trace", str(trace)])
+    capsys.readouterr()
+    assert main(["trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("pipeline")
+    assert "extract" in out and "winnow" in out and "wall=" in out
+
+
+def test_trace_subcommand_rejects_invalid_input(tmp_path, capsys):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text("not a trace\n")
+    assert main(["trace", str(bogus)]) == 1
+    assert "invalid trace" in capsys.readouterr().err
+    assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+    assert "cannot read trace" in capsys.readouterr().err

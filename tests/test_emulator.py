@@ -460,3 +460,86 @@ def test_trace_records_instructions():
 def test_run_catching_attack_returns_none_on_crash():
     emu = emu_for("mov rax, [rbx]")  # rbx=0 → unmapped
     assert emu.run_catching_attack() is None
+
+
+# -- syscall argument decoding ----------------------------------------------
+
+
+def _handler(**kwargs):
+    from repro.emulator import Memory, SyscallHandler
+
+    return SyscallHandler(Memory(), **kwargs)
+
+
+def test_mmap_event_records_prot_and_flags():
+    handler = _handler()
+    args = (0x700000, 0x2000, 7, 0x22, 0, 0)
+    with pytest.raises(AttackTriggered) as excinfo:
+        handler.dispatch(int(Sys.MMAP), args)
+    event = excinfo.value.event
+    assert event.number == Sys.MMAP
+    assert (event.addr, event.length, event.prot, event.flags) == (0x700000, 0x2000, 7, 0x22)
+
+
+def test_mremap_event_decodes_real_signature():
+    """mremap(old_addr, old_size, new_size, flags, new_addr) — it was
+    decoded like mmap, mislabelling new_size/flags as prot."""
+    handler = _handler()
+    args = (0x600000, 0x1000, 0x3000, 1, 0x700000, 0)
+    with pytest.raises(AttackTriggered) as excinfo:
+        handler.dispatch(int(Sys.MREMAP), args)
+    event = excinfo.value.event
+    assert event.number == Sys.MREMAP
+    assert event.args == args[:5]
+    assert event.addr == 0x600000
+    assert event.length == 0x3000, "length is the *new* size (arg 2)"
+    assert event.flags == 1
+    assert event.prot is None, "mremap has no prot argument"
+
+
+# -- write(2) length clamping ------------------------------------------------
+
+
+def _write_handler(pages=1, fill=b"A"):
+    from repro.emulator import Memory, PAGE_SIZE, PERM_R, SyscallHandler
+
+    mem = Memory()
+    mem.map(0x1000, pages * PAGE_SIZE, PERM_R)
+    mem.write_initial(0x1000, fill * (pages * PAGE_SIZE))
+    return SyscallHandler(mem, stop_on_attack=False)
+
+
+def test_write_clamps_count_to_mapped_run():
+    """The guest's count was trusted unboundedly — a corrupted length
+    made the host materialize the whole read.  Clamp to what is mapped
+    (partial-write semantics, like the kernel)."""
+    handler = _write_handler(pages=1)
+    ret = handler.dispatch(int(Sys.WRITE), (1, 0x1800, 1 << 40, 0, 0, 0))
+    assert ret == 0x800, "partial write up to the end of the mapping"
+    assert bytes(handler.stdout) == b"A" * 0x800
+
+
+def test_write_crossing_pages_clamps_at_unmapped():
+    handler = _write_handler(pages=2)
+    ret = handler.dispatch(int(Sys.WRITE), (1, 0x1100, 0x10000, 0, 0, 0))
+    assert ret == 0x1F00  # both pages minus the 0x100 offset
+    assert len(handler.stdout) == 0x1F00
+
+
+def test_write_within_mapping_is_exact():
+    handler = _write_handler(pages=1)
+    ret = handler.dispatch(int(Sys.WRITE), (1, 0x1000, 5, 0, 0, 0))
+    assert ret == 5
+    assert bytes(handler.stdout) == b"AAAAA"
+
+
+def test_write_unmapped_buffer_returns_efault():
+    handler = _handler(stop_on_attack=False)
+    ret = handler.dispatch(int(Sys.WRITE), (1, 0xDEAD000, 16, 0, 0, 0))
+    assert ret == (-14) & ((1 << 64) - 1)
+    assert not handler.stdout
+
+
+def test_write_zero_count_returns_zero():
+    handler = _write_handler()
+    assert handler.dispatch(int(Sys.WRITE), (1, 0x1000, 0, 0, 0, 0)) == 0

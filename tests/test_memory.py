@@ -150,3 +150,34 @@ def test_property_u64_roundtrip(value, offset):
     mem = fresh()
     mem.write_u64(BASE + offset, value)
     assert mem.read_u64(BASE + offset) == value
+
+
+# -- readable_run ------------------------------------------------------------
+
+
+def test_readable_run_within_one_page():
+    mem = fresh(size=PAGE_SIZE)
+    assert mem.readable_run(BASE, 16) == 16
+    assert mem.readable_run(BASE + 100, PAGE_SIZE) == PAGE_SIZE - 100
+
+
+def test_readable_run_crosses_pages_and_stops_at_unmapped():
+    mem = fresh(size=2 * PAGE_SIZE)
+    assert mem.readable_run(BASE + 0x100, 1 << 40) == 2 * PAGE_SIZE - 0x100
+    assert mem.readable_run(BASE, 3 * PAGE_SIZE) == 2 * PAGE_SIZE
+
+
+def test_readable_run_unreadable_or_empty():
+    mem = fresh(perms=PERM_W, size=PAGE_SIZE)  # mapped but not readable
+    assert mem.readable_run(BASE, 10) == 0
+    assert mem.readable_run(0xDEAD000, 10) == 0  # unmapped
+    assert Memory().readable_run(0, 10) == 0
+    readable = fresh(size=PAGE_SIZE)
+    assert readable.readable_run(BASE, 0) == 0
+    assert readable.readable_run(BASE, -5) == 0
+
+
+def test_readable_run_never_allocates_pages():
+    mem = fresh(size=4 * PAGE_SIZE)
+    mem.readable_run(BASE, 1 << 40)
+    assert mem._pages == {}, "permission walk must not materialize pages"
