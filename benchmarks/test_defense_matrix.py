@@ -1,0 +1,152 @@
+"""Defense matrix — surviving attack surface and payloads per policy.
+
+The paper's question is how much code-reuse attack surface obfuscation
+*adds*; this experiment asks how much of the added surface deployed
+mitigations *reclaim*.  For every (program, build config, policy) cell
+the full Gadget-Planner runs with the policy enforced during payload
+validation, and the matrix records the surviving winnowed pool plus
+validated payload counts.
+
+Key shape asserted (the coarse/fine CFI gap on obfuscated code): a
+payload set that succeeds unprotected still succeeds under *coarse*
+CFI on an obfuscated build — the gadget surplus obfuscation creates is
+overwhelmingly at recovered instruction boundaries — but dies under
+*fine-grained* CFI, whose return-site/entry labels the ROP chain
+cannot satisfy.
+
+One honest wrinkle worth keeping visible in the artifact: filtering
+the pool can *help* the bounded planner search (fewer providers per
+condition → less branching within ``max_nodes``), so a policy column
+is not guaranteed monotone in payload count against ``none``.
+Survival counts, by contrast, are monotone by construction and
+asserted as such.
+
+Artifacts: ``benchmarks/results/BENCH_defenses.json`` (schema
+``nfl-bench-defenses-v1``) and the printed/recorded fixed-width table.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BENCH_EXTRACTION, BENCH_PLANNER, MAIN_CONFIGS, build
+from repro.defenses import (
+    BENCH_DEFENSES_SCHEMA,
+    POLICIES,
+    defense_matrix_entry,
+    format_defense_matrix,
+    validate_defense_matrix,
+)
+from repro.pipeline import ResultCache
+from repro.planner import execve_goal, mprotect_goal
+
+PROGRAMS = ("crc32", "string_ops")
+POLICY_NAMES = ("none", "coarse_cfi", "fine_cfi", "shadow_stack", "aslr_leak")
+
+
+def run_defense_matrix() -> dict:
+    policies = [POLICIES[name] for name in POLICY_NAMES]
+    entries = []
+    with tempfile.TemporaryDirectory(prefix="nfl-defense-bench-") as tmp:
+        # One shared cache: extraction + winnowing run once per build,
+        # every policy re-filters the same cached pool.
+        cache = ResultCache(root=Path(tmp))
+        for program in PROGRAMS:
+            for config in MAIN_CONFIGS:
+                image = build(program, config).image
+                goals = [
+                    mprotect_goal(addr=image.data.addr & ~0xFFF),
+                    execve_goal(),
+                ]
+                entries.extend(
+                    defense_matrix_entry(
+                        image,
+                        policies,
+                        program=program,
+                        config=config,
+                        goals=goals,
+                        extraction=BENCH_EXTRACTION,
+                        planner=BENCH_PLANNER,
+                        cache=cache,
+                    )
+                )
+    return {
+        "schema": BENCH_DEFENSES_SCHEMA,
+        "programs": list(PROGRAMS),
+        "configs": list(MAIN_CONFIGS),
+        "policies": list(POLICY_NAMES),
+        "entries": entries,
+    }
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_defense_matrix()
+
+
+def test_defense_matrix(benchmark, record_table, results_dir, matrix):
+    benchmark.pedantic(lambda: matrix, iterations=1, rounds=1)
+
+    (results_dir / "BENCH_defenses.json").write_text(json.dumps(matrix, indent=2) + "\n")
+    record_table(
+        "defense_matrix",
+        f"Defense matrix: {PROGRAMS} x {MAIN_CONFIGS} x {POLICY_NAMES}",
+        format_defense_matrix(matrix),
+    )
+
+    validate_defense_matrix(matrix)
+    assert len(matrix["policies"]) >= 4
+    assert len(matrix["configs"]) >= 3
+    assert len(matrix["entries"]) == len(PROGRAMS) * len(MAIN_CONFIGS) * len(POLICY_NAMES)
+
+
+def cell(matrix, program, config, policy):
+    return next(
+        e
+        for e in matrix["entries"]
+        if (e["program"], e["config"], e["policy"]) == (program, config, policy)
+    )
+
+
+def test_survival_monotone_in_policy_strength(matrix):
+    for program in PROGRAMS:
+        for config in MAIN_CONFIGS:
+            none = cell(matrix, program, config, "none")
+            coarse = cell(matrix, program, config, "coarse_cfi")
+            fine = cell(matrix, program, config, "fine_cfi")
+            assert none["surviving"] == none["pool_size"]
+            assert fine["surviving"] <= coarse["surviving"] <= none["surviving"]
+            assert fine["killed_cfi"] >= coarse["killed_cfi"] >= 0
+
+
+def test_coarse_cfi_passes_where_fine_blocks_on_obfuscated_build(matrix):
+    """The acceptance shape: on an obfuscated build, payloads that
+    succeed unprotected still succeed under coarse CFI and are all
+    gone under fine CFI."""
+    demonstrated = False
+    for program in PROGRAMS:
+        for config in ("llvm_obf", "tigress"):
+            none = cell(matrix, program, config, "none")
+            coarse = cell(matrix, program, config, "coarse_cfi")
+            fine = cell(matrix, program, config, "fine_cfi")
+            if none["payloads"] > 0 and coarse["payloads"] > 0 and fine["payloads"] == 0:
+                demonstrated = True
+    assert demonstrated, "no obfuscated build showed the coarse-pass/fine-block gap"
+
+
+def test_shadow_stack_kills_rop_payloads(matrix):
+    for config in MAIN_CONFIGS:
+        entry = cell(matrix, "string_ops", config, "shadow_stack")
+        assert entry["payloads"] == 0, config
+        assert entry["killed_shadow_stack"] > 0, config
+
+
+def test_aslr_leak_restores_capability(matrix):
+    """With a leak budget the chain runs unmodified (and pays for it)."""
+    entry = cell(matrix, "string_ops", "llvm_obf", "aslr_leak")
+    baseline = cell(matrix, "string_ops", "llvm_obf", "none")
+    assert entry["payloads"] == baseline["payloads"] > 0
+    assert entry["leaks_used"] >= entry["payloads"]
+    assert entry["surviving"] == entry["pool_size"], "ASLR filters no gadgets"

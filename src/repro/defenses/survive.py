@@ -1,0 +1,157 @@
+"""Gadget survival under a defense policy — the filtering layer.
+
+:func:`gadget_survives` is a *necessary* condition: it keeps a gadget
+only if some chain position could legally use it under the policy.  It
+deliberately over-approximates — the enforcement layer
+(:mod:`repro.defenses.enforce`) is the precise check a finished payload
+must still pass — so "surviving gadgets" upper-bounds the residual
+attack surface, the quantity the census reports per defense ×
+obfuscation.
+
+Per mitigation:
+
+* **coarse CFI** — the gadget's entry must be a recovered instruction
+  boundary.  This is exactly the aligned/unaligned split: obfuscation's
+  unaligned bonus gadgets die, its aligned blow-up survives.
+* **fine CFI** — the gadget's entry must carry *some* fine-grained
+  label (a call-preceded return site, or a function entry for the
+  initial corrupted forward transfer).
+* **shadow stack** — the diversion is a corrupted forward transfer, so
+  the chain starts with an empty shadow frame: any gadget *ending* in
+  ``ret`` would pop an empty (or mismatched) shadow stack.  Only
+  jump-/call-/syscall-terminated gadgets survive (the JOP residue).
+* **W^X / ASLR** — no per-gadget effect: W^X constrains syscalls and
+  page permissions, ASLR constrains the attacker's knowledge of
+  addresses.  Both bite at enforcement/planning time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..binfmt.image import BinaryImage
+from ..gadgets.record import GadgetRecord
+from ..obs import metrics, span
+from ..staticanalysis.decode_graph import DecodeGraph
+from ..symex.executor import EndKind
+from .cfi import CFITargets
+from .policy import CFIMode, DefensePolicy
+
+
+def gadget_survives(
+    policy: DefensePolicy,
+    record: GadgetRecord,
+    targets: Optional[CFITargets] = None,
+) -> bool:
+    """Could any chain position legally use ``record`` under ``policy``?
+
+    ``targets`` is required when the policy enables CFI (the check is
+    image-relative); pass the :class:`CFITargets` built for the record's
+    image.
+    """
+    if policy.cfi is not CFIMode.OFF:
+        if targets is None:
+            raise ValueError("CFI survival needs the image's CFITargets")
+        if policy.cfi is CFIMode.COARSE:
+            if record.location not in targets.aligned:
+                return False
+        elif not targets.fine_reachable(record.location):
+            return False
+    if policy.shadow_stack and record.end is EndKind.RET:
+        return False
+    return True
+
+
+@dataclass
+class SurvivalCensus:
+    """Surviving-pool accounting for one (image, policy) pair."""
+
+    policy: str
+    pool_size: int = 0
+    surviving: int = 0
+    killed_cfi: int = 0
+    killed_shadow_stack: int = 0
+    by_jmp_type: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def survival_ratio(self) -> float:
+        return self.surviving / self.pool_size if self.pool_size else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "policy": self.policy,
+            "pool_size": self.pool_size,
+            "surviving": self.surviving,
+            "survival_ratio": round(self.survival_ratio, 4),
+            "killed_cfi": self.killed_cfi,
+            "killed_shadow_stack": self.killed_shadow_stack,
+            "by_jmp_type": dict(sorted(self.by_jmp_type.items())),
+        }
+
+
+def filter_pool(
+    policy: DefensePolicy,
+    records: Sequence[GadgetRecord],
+    *,
+    image: Optional[BinaryImage] = None,
+    targets: Optional[CFITargets] = None,
+    graph: Optional[DecodeGraph] = None,
+    census: Optional[SurvivalCensus] = None,
+) -> List[GadgetRecord]:
+    """The pool's survivors under ``policy``, in original order.
+
+    A pure post-filter: the input pool (and anything cached by
+    :mod:`repro.pipeline`) is never mutated, and with a no-op policy the
+    very same list object comes back.  Builds :class:`CFITargets` from
+    ``image`` on demand when CFI is enabled and none were passed.
+    """
+    if not policy.enabled or (
+        policy.cfi is CFIMode.OFF and not policy.shadow_stack
+    ):
+        if census is not None:
+            census.pool_size = len(records)
+            census.surviving = len(records)
+            for record in records:
+                census.by_jmp_type[record.jmp_type.value] = (
+                    census.by_jmp_type.get(record.jmp_type.value, 0) + 1
+                )
+        return list(records) if not isinstance(records, list) else records
+
+    if policy.cfi is not CFIMode.OFF and targets is None:
+        if image is None:
+            raise ValueError("CFI filtering needs the image or its CFITargets")
+        targets = CFITargets.build(image, graph)
+
+    counters = metrics()
+    survivors: List[GadgetRecord] = []
+    with span("defense.filter") as sp:
+        for record in records:
+            if policy.cfi is not CFIMode.OFF:
+                assert targets is not None
+                if policy.cfi is CFIMode.COARSE:
+                    cfi_ok = record.location in targets.aligned
+                else:
+                    cfi_ok = targets.fine_reachable(record.location)
+                if not cfi_ok:
+                    if census is not None:
+                        census.killed_cfi += 1
+                    counters.counter("defense.gadgets_killed_cfi").inc()
+                    continue
+            if policy.shadow_stack and record.end is EndKind.RET:
+                if census is not None:
+                    census.killed_shadow_stack += 1
+                counters.counter("defense.gadgets_killed_shadow").inc()
+                continue
+            survivors.append(record)
+            if census is not None:
+                census.by_jmp_type[record.jmp_type.value] = (
+                    census.by_jmp_type.get(record.jmp_type.value, 0) + 1
+                )
+        sp.add("pool", len(records))
+        sp.add("surviving", len(survivors))
+    counters.counter("defense.gadgets_surviving").inc(len(survivors))
+    if census is not None:
+        census.pool_size = len(records)
+        census.surviving = len(survivors)
+    return survivors

@@ -11,9 +11,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from .memory import Memory, MemoryFault, PERM_R, PERM_W, PERM_X
+from .memory import Memory, MemoryFault, PAGE_SIZE, PERM_R, PERM_W, PERM_X
+
+#: Linux PROT_* bits — numerically identical to the Memory PERM_* bits,
+#: so validated prot values apply to pages unchanged.
+PROT_NONE = 0
+PROT_READ = PERM_R
+PROT_WRITE = PERM_W
+PROT_EXEC = PERM_X
+PROT_ALL = PROT_READ | PROT_WRITE | PROT_EXEC
+
+#: Where anonymous ``mmap(addr=0)`` allocations land when the handler
+#: models the call (far from image, stack, and validation scratch).
+MMAP_BASE = 0x7F0000000000
+
+_EINVAL = -22 & ((1 << 64) - 1)
+_ENOMEM = -12 & ((1 << 64) - 1)
 
 
 class Sys(enum.IntEnum):
@@ -74,6 +89,15 @@ class SyscallHandler:
     stop_on_attack: bool = True
     stdout: bytearray = field(default_factory=bytearray)
     events: List[SyscallEvent] = field(default_factory=list)
+    #: Policy hook (e.g. a W^X model): called as ``filter(sys_no, args)``
+    #: after argument validation but before the syscall takes effect or
+    #: is recorded as an event.  Returning an int vetoes the call with
+    #: that value as the guest-visible return; returning ``None`` lets
+    #: it proceed.  ``None`` (the default) is byte-for-byte the
+    #: historical behaviour.
+    syscall_filter: Optional[Callable[[Sys, tuple], Optional[int]]] = None
+    #: Bump allocator for modelled anonymous ``mmap(addr=0)`` calls.
+    mmap_cursor: int = MMAP_BASE
 
     def dispatch(self, number: int, args: tuple) -> int:
         """Handle syscall ``number`` with up to six ``args``; returns rax."""
@@ -88,12 +112,16 @@ class SyscallHandler:
         if sys_no == Sys.EXIT:
             raise ProcessExit(args[0] & 0xFF)
         if sys_no == Sys.EXECVE:
+            veto = self._veto(sys_no, args)
+            if veto is not None:
+                return veto
             return self._attack_event(self._decode_execve(args))
         if sys_no == Sys.MPROTECT:
-            return self._attack_event(
-                SyscallEvent(Sys.MPROTECT, args[:3], addr=args[0], length=args[1], prot=args[2])
-            )
+            return self._sys_mprotect(args)
         if sys_no == Sys.MMAP:
+            veto = self._veto(sys_no, args)
+            if veto is not None:
+                return veto
             return self._attack_event(
                 SyscallEvent(
                     Sys.MMAP,
@@ -105,6 +133,9 @@ class SyscallHandler:
                 )
             )
         if sys_no == Sys.MREMAP:
+            veto = self._veto(sys_no, args)
+            if veto is not None:
+                return veto
             # mremap(old_addr, old_size, new_size, flags, new_addr) has
             # no prot argument — decoding it like mmap mislabelled
             # new_size/flags as prot and misreported the goal state.
@@ -137,6 +168,26 @@ class SyscallHandler:
         self.stdout += data
         return readable
 
+    def _veto(self, sys_no: "Sys", args: tuple) -> Optional[int]:
+        if self.syscall_filter is None:
+            return None
+        return self.syscall_filter(sys_no, args)
+
+    def _sys_mprotect(self, args: tuple) -> int:
+        addr, length, prot = args[0], args[1], args[2]
+        # Kernel semantics: addr must be page-aligned and prot must be a
+        # combination of PROT_READ|WRITE|EXEC, else -EINVAL *before* any
+        # effect (and before any policy hook sees a malformed request).
+        # length need not be aligned — it is rounded up to whole pages.
+        if addr % PAGE_SIZE != 0 or prot & ~PROT_ALL:
+            return _EINVAL
+        veto = self._veto(Sys.MPROTECT, args)
+        if veto is not None:
+            return veto
+        return self._attack_event(
+            SyscallEvent(Sys.MPROTECT, args[:3], addr=addr, length=length, prot=prot)
+        )
+
     def _decode_execve(self, args: tuple) -> SyscallEvent:
         path_ptr = args[0]
         try:
@@ -150,10 +201,38 @@ class SyscallHandler:
         if self.stop_on_attack:
             raise AttackTriggered(event)
         if event.number == Sys.MPROTECT and event.addr is not None:
-            # Model the real effect so follow-on shellcode jumps work.
+            # Model the real effect (the *requested* permissions, over
+            # whole pages) so follow-on shellcode jumps work — or fault.
+            length = max(event.length or 0, 1)
             try:
-                self.memory.protect(event.addr, event.length or 1, PERM_R | PERM_W | PERM_X)
+                self.memory.protect(event.addr, length, event.prot or 0)
             except MemoryFault:
-                return -22 & ((1 << 64) - 1)  # -EINVAL
+                return _EINVAL
             return 0
+        if event.number == Sys.MMAP:
+            return self._model_mmap(event)
         return 0
+
+    def _model_mmap(self, event: SyscallEvent) -> int:
+        """Model an anonymous mapping so the caller can use the region.
+
+        Only reached with ``stop_on_attack`` off (payload *demos* that
+        run past the goal syscall); validation never gets here.
+        """
+        length = event.length or 0
+        prot = event.prot or 0
+        if length <= 0 or prot & ~PROT_ALL:
+            return _EINVAL
+        pages = (length + PAGE_SIZE - 1) // PAGE_SIZE
+        addr = event.addr or 0
+        if addr == 0:
+            addr = self.mmap_cursor
+            self.mmap_cursor += pages * PAGE_SIZE
+        elif addr % PAGE_SIZE != 0:
+            return _EINVAL
+        if any(
+            self.memory.is_mapped(addr + i * PAGE_SIZE) for i in range(pages)
+        ):
+            return _ENOMEM  # no MAP_FIXED clobbering in the model
+        self.memory.map(addr, pages * PAGE_SIZE, prot)
+        return addr

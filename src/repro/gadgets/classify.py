@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, TYPE_CHECKING, Tuple
 
 from ..binfmt.image import BinaryImage
-from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import Instruction, Op
 from .record import JmpType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..staticanalysis.decode_graph import DecodeGraph
 
 #: Terminators for the syntactic scan.
 _END_OPS = {Op.RET, Op.JMP_R, Op.JMP_M, Op.CALL_R, Op.JMP_REL}
@@ -57,22 +59,33 @@ def scan_syntactic_gadgets(
     *,
     max_insns: int = 8,
     include_conditional: bool = True,
+    graph: Optional["DecodeGraph"] = None,
 ) -> List[SyntacticGadget]:
     """ROPGadget-style scan: from every byte offset, decode up to
     ``max_insns`` instructions; every prefix ending in a transfer is a
-    gadget.  Gadgets are deduplicated by (address, end address)."""
+    gadget.  Gadgets are deduplicated by (address, end address).
+
+    Decoding goes through the shared per-process
+    :class:`~repro.staticanalysis.decode_graph.DecodeGraph`, so a scan
+    after (or before) gadget extraction on the same image costs no
+    second decode of the section; pass ``graph`` to reuse one you
+    already hold.
+    """
+    from ..staticanalysis.decode_graph import shared_decode_graph
+
     text = image.text
     code = text.data
     base = text.addr
+    if graph is None:
+        graph = shared_decode_graph(code, base)
     out: List[SyntacticGadget] = []
     seen: Set[Tuple[int, int]] = set()
     for offset in range(len(code)):
         insns: List[Instruction] = []
         cursor = offset
         for _ in range(max_insns):
-            try:
-                insn = decode(code, cursor, addr=base + cursor)
-            except DecodeError:
+            insn = graph.decode_at(cursor)
+            if insn is None:
                 break
             insns.append(insn)
             cursor = insn.end - base
@@ -119,12 +132,12 @@ def semantic_census(
     the "is this gadget set actually usable?" question raw counts
     cannot answer.
     """
-    from ..staticanalysis.decode_graph import DecodeGraph
+    from ..staticanalysis.decode_graph import shared_decode_graph
     from ..staticanalysis.metrics import GadgetSetMetrics, compute_metrics
     from ..staticanalysis.window import WindowAnalyzer
 
     text = image.text
-    graph = DecodeGraph(text.data, text.addr)
+    graph = shared_decode_graph(text.data, text.addr)
     analyzer = WindowAnalyzer(graph, max_insns=max_insns, max_steps=max_steps)
     dist = graph.dist_to_transfer
     summaries = (

@@ -35,7 +35,7 @@ from ..analysis.cfg import recover_cfg
 from ..binfmt.image import BinaryImage
 from ..isa.instructions import Op
 from ..obs import metrics, span
-from ..staticanalysis.decode_graph import DecodeGraph
+from ..staticanalysis.decode_graph import DecodeGraph, shared_decode_graph
 from ..staticanalysis.window import WindowAnalyzer
 from ..symex.executor import SymbolicExecutor
 from .record import GadgetRecord, record_from_path
@@ -197,7 +197,9 @@ def plan_candidates(
     because culled windows contribute zero usable paths.
     """
     text = image.text
-    graph = DecodeGraph(text.data, text.addr)
+    # One decode of the section per process, shared with the syntactic
+    # census and the baseline scanners (same bytes → same graph).
+    graph = shared_decode_graph(text.data, text.addr)
     with span("extract.plan") as plan_sp:
         with span("extract.candidates") as cand_sp:
             candidates = candidate_offsets(image, config, graph)

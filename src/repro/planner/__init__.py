@@ -20,7 +20,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..binfmt.image import BinaryImage
 from ..obs import span
@@ -46,6 +46,10 @@ from .library import ChainKind, GadgetLibrary, chain_kind
 from .payload import AssemblyError, AttackPayload, assemble_payload, validate_payload
 from .plan import CausalLink, OpenCondition, PartialPlan, Step
 from .search import PlannerConfig, SearchStats, search_plans
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..defenses.policy import DefensePolicy
+    from ..defenses.survive import SurvivalCensus
 
 
 @dataclass
@@ -80,6 +84,16 @@ class PlannerReport:
     extraction_stats: ExtractionStats = field(default_factory=ExtractionStats)
     subsumption_stats: SubsumptionStats = field(default_factory=SubsumptionStats)
     search_stats: Dict[str, SearchStats] = field(default_factory=dict)
+    #: Defense-aware runs only (``GadgetPlanner(defense=...)``):
+    defense_policy: Optional[str] = None
+    gadgets_surviving: Optional[int] = None
+    survival: Optional["SurvivalCensus"] = None
+    #: Payloads that assembled and reached execution but were stopped by
+    #: the enforced policy (CFI/shadow violation, vetoed syscall, or an
+    #: ASLR miss) — the "reclaimed" part of the attack surface.
+    blocked_by_defense: int = 0
+    #: Leak-oracle queries consumed across validated payloads (ASLR).
+    leaks_used: int = 0
 
     @property
     def total_payloads(self) -> int:
@@ -102,10 +116,15 @@ class GadgetPlanner:
         validate: bool = True,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        defense: Optional["DefensePolicy"] = None,
     ) -> None:
         self.image = image
         self.extraction_config = extraction or ExtractionConfig()
         self.planner_config = planner or PlannerConfig()
+        # A policy with nothing enabled is the no-defense fast path:
+        # extraction, winnowing, planning and validation all take the
+        # exact historical route (byte-identical pools and payloads).
+        self.defense = defense if defense is not None and defense.enabled else None
         # A tight conflict budget: planner queries are overwhelmingly
         # easy; a hard one returning UNKNOWN just skips that provider.
         self.solver = solver or Solver(max_conflicts=4000)
@@ -143,6 +162,9 @@ class GadgetPlanner:
     def run(self, goals: Optional[Sequence[AttackGoal]] = None) -> PlannerReport:
         report = PlannerReport()
         goals = list(goals) if goals is not None else standard_goals(self.image)
+        cfi_targets = None
+        if self.defense is not None:
+            report.defense_policy = self.defense.name
 
         with span("plan") as plan_root:
             with span("plan.extract") as extract_sp:
@@ -169,9 +191,31 @@ class GadgetPlanner:
                     config=self.extraction_config,
                 )
                 report.gadgets_after_subsumption = len(deduped)
-                library = GadgetLibrary.build(deduped)
-                report.library_size = library.size
             report.timings.subsumption = winnow_sp.wall
+
+            if self.defense is not None:
+                # A pure post-filter over the winnowed pool: the cached
+                # pools above are shared across policies untouched.
+                from ..defenses.cfi import CFITargets
+                from ..defenses.survive import SurvivalCensus, filter_pool
+
+                with span("plan.defense_filter") as def_sp:
+                    from ..defenses.policy import CFIMode
+
+                    if self.defense.cfi is not CFIMode.OFF:
+                        cfi_targets = CFITargets.build(self.image)
+                    report.survival = SurvivalCensus(policy=self.defense.name)
+                    deduped = filter_pool(
+                        self.defense,
+                        deduped,
+                        targets=cfi_targets,
+                        census=report.survival,
+                    )
+                    report.gadgets_surviving = len(deduped)
+                    def_sp.add("surviving", len(deduped))
+
+            library = GadgetLibrary.build(deduped)
+            report.library_size = library.size
 
             complete: List[tuple] = []  # (resolved goal, plan)
             with span("plan.goals") as goals_sp:
@@ -209,7 +253,29 @@ class GadgetPlanner:
                     if key in seen_chains:
                         continue
                     if self.validate:
-                        if not validate_payload(self.image, payload, resolved):
+                        if self.defense is not None:
+                            from ..defenses.enforce import validate_payload_with_policy
+
+                            run = validate_payload_with_policy(
+                                self.image,
+                                payload,
+                                resolved,
+                                self.defense,
+                                targets=cfi_targets,
+                            )
+                            payload.validated = run.ok
+                            payload.event = run.event
+                            payload.leak_steps = run.leaks_used
+                            if not run.ok:
+                                if (
+                                    run.outcome in ("cfi", "shadow_stack")
+                                    or run.denied_syscalls
+                                    or run.slide_applied
+                                ):
+                                    report.blocked_by_defense += 1
+                                continue
+                            report.leaks_used += run.leaks_used
+                        elif not validate_payload(self.image, payload, resolved):
                             continue
                     seen_chains.add(key)
                     report.payloads.append(payload)

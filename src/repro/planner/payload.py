@@ -52,6 +52,9 @@ class AttackPayload:
     entry_address: int  # first gadget (overwrites the return address)
     validated: bool = False
     event: Optional[SyscallEvent] = None
+    #: Leak-oracle queries the delivery needs first (ASLR defenses; the
+    #: planner sets this when validating under a policy with a budget).
+    leak_steps: int = 0
 
     @property
     def length_bytes(self) -> int:
@@ -63,6 +66,8 @@ class AttackPayload:
     def describe(self) -> str:
         """Fig. 8-style rendering of the chain and payload."""
         lines = [f"payload[{self.goal_name}] — {len(self.chain)} gadgets, {self.length_bytes} bytes"]
+        if self.leak_steps:
+            lines.append(f"  leak: {self.leak_steps} address-leak step(s) before injection")
         for i, gadget in enumerate(self.chain):
             marker = "goal" if i == len(self.chain) - 1 else f"g{i + 1}"
             lines.append(f"  {marker}: {gadget.location:#x}  " + "; ".join(str(x) for x in gadget.insns))

@@ -12,7 +12,7 @@ Two engines over one abstract-domain core (:mod:`.domain`):
   netperf ``break_args`` bug instead of hardcoding it.
 """
 
-from .decode_graph import DecodeGraph
+from .decode_graph import DecodeGraph, shared_decode_graph
 from .domain import BOT, Const, InitReg, Interval, TOP, Tribool
 from .lint import check_module_source, format_findings
 from .metrics import GadgetSetMetrics, classify_summary, compute_metrics, format_metrics
@@ -38,4 +38,5 @@ __all__ = [
     "compute_metrics",
     "format_findings",
     "format_metrics",
+    "shared_decode_graph",
 ]

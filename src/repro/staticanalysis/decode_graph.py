@@ -24,6 +24,7 @@ induced control-flow graph:
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -35,6 +36,21 @@ INDIRECT_ENDS = frozenset({Op.RET, Op.JMP_R, Op.JMP_M, Op.CALL_R, Op.SYSCALL})
 
 #: Sentinel distance for "no transfer reachable".
 UNREACHABLE = -1
+
+
+@functools.lru_cache(maxsize=8)
+def shared_decode_graph(code: bytes, base_addr: int) -> "DecodeGraph":
+    """A process-wide cache of :class:`DecodeGraph` per (code, base).
+
+    Decoding a section is the dominant fixed cost shared by gadget
+    extraction, the syntactic census and every baseline scanner; tools
+    that analyse the same image byte-for-byte (the Fig. 1 / Table 1
+    comparisons run three tools over each build) should decode it once.
+    Graphs are immutable apart from memoised reachability tables, so
+    sharing cannot change any caller's results.  The small LRU bound
+    keeps at most a handful of text sections alive.
+    """
+    return DecodeGraph(code, base_addr)
 
 
 class DecodeGraph:

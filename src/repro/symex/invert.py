@@ -8,13 +8,48 @@ constants.  Where the expression is not an invertible chain, ``None``
 is returned and the caller falls back to the solver — this is purely a
 fast path, covering the overwhelmingly common ``pop``/``lea``/
 arithmetic-adjust gadget shapes without a single SAT call.
+
+``invert_jcc(op)`` is the companion for *control* conditions: the
+conditional jump whose taken-predicate is the exact complement of
+``op``'s, used when a planner wants the fall-through side of a
+conditional gadget expressed as a taken branch.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from ..isa.instructions import Op
 from .expr import BV, BVBin, BVBinOp, BVConst, BVSym, BVUn, BVUnOp, MASK64
+
+#: Complementary Jcc pairs: for every flag assignment, exactly one of
+#: (op, JCC_INVERSE[op]) is taken.  Symmetric by construction.
+_INVERSE_PAIRS = (
+    (Op.JE, Op.JNE),
+    (Op.JL, Op.JGE),
+    (Op.JLE, Op.JG),
+    (Op.JB, Op.JAE),
+    (Op.JBE, Op.JA),
+    (Op.JS, Op.JNS),
+)
+
+JCC_INVERSE: Dict[Op, Op] = {}
+for _a, _b in _INVERSE_PAIRS:
+    JCC_INVERSE[_a] = _b
+    JCC_INVERSE[_b] = _a
+del _a, _b
+
+
+def invert_jcc(op: Op) -> Op:
+    """The conditional jump taken exactly when ``op`` is not.
+
+    An involution over the Jcc family (``invert_jcc(invert_jcc(op))
+    == op``); raises :class:`ValueError` for non-conditional opcodes.
+    """
+    inverse = JCC_INVERSE.get(op)
+    if inverse is None:
+        raise ValueError(f"{op!r} is not a conditional jump")
+    return inverse
 
 
 def _modinv_odd(a: int) -> int:

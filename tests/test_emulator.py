@@ -497,6 +497,108 @@ def test_mremap_event_decodes_real_signature():
     assert event.prot is None, "mremap has no prot argument"
 
 
+# -- mprotect argument validation (kernel semantics) -------------------------
+
+
+_EINVAL = (-22) & ((1 << 64) - 1)
+_ENOMEM = (-12) & ((1 << 64) - 1)
+
+
+def test_mprotect_unaligned_addr_returns_einval():
+    handler = _handler()
+    ret = handler.dispatch(int(Sys.MPROTECT), (0x600001, 0x1000, 7, 0, 0, 0))
+    assert ret == _EINVAL
+    assert handler.events == [], "invalid request must not be recorded"
+
+
+def test_mprotect_bad_prot_bits_return_einval():
+    handler = _handler()
+    for prot in (8, 0x10, 7 | 0x20):
+        ret = handler.dispatch(int(Sys.MPROTECT), (0x600000, 0x1000, prot, 0, 0, 0))
+        assert ret == _EINVAL, hex(prot)
+    assert handler.events == []
+
+
+def test_mprotect_valid_request_still_raises_attack():
+    handler = _handler()
+    with pytest.raises(AttackTriggered):
+        handler.dispatch(int(Sys.MPROTECT), (0x600000, 0x1000, 7, 0, 0, 0))
+
+
+def test_mprotect_applies_requested_prot_when_modelled():
+    from repro.emulator import Memory, PAGE_SIZE, PERM_R, PERM_X, SyscallHandler
+
+    mem = Memory()
+    mem.map(0x600000, PAGE_SIZE, PERM_R)
+    handler = SyscallHandler(mem, stop_on_attack=False)
+    ret = handler.dispatch(int(Sys.MPROTECT), (0x600000, PAGE_SIZE, 5, 0, 0, 0))
+    assert ret == 0
+    assert mem.perms_at(0x600000) == (PERM_R | PERM_X)
+
+
+def test_mprotect_unmapped_region_returns_einval_when_modelled():
+    handler = _handler(stop_on_attack=False)
+    ret = handler.dispatch(int(Sys.MPROTECT), (0x600000, 0x1000, 7, 0, 0, 0))
+    assert ret == _EINVAL
+
+
+def test_mprotect_validates_before_policy_filter():
+    """Malformed requests fail with -EINVAL before any policy hook runs."""
+    seen = []
+
+    def filt(sys_no, args):
+        seen.append(sys_no)
+        return None
+
+    handler = _handler(syscall_filter=filt)
+    assert handler.dispatch(int(Sys.MPROTECT), (0x600001, 0x1000, 7, 0, 0, 0)) == _EINVAL
+    assert seen == []
+
+
+def test_syscall_filter_vetoes_mprotect():
+    _EACCES = (-13) & ((1 << 64) - 1)
+
+    def filt(sys_no, args):
+        return _EACCES if sys_no is Sys.MPROTECT else None
+
+    handler = _handler(syscall_filter=filt)
+    ret = handler.dispatch(int(Sys.MPROTECT), (0x600000, 0x1000, 7, 0, 0, 0))
+    assert ret == _EACCES
+    assert handler.events == [], "vetoed call must not count as an attack"
+
+
+# -- modelled anonymous mmap --------------------------------------------------
+
+
+def test_mmap_model_bump_allocates_and_maps():
+    from repro.emulator import PAGE_SIZE
+    from repro.emulator.syscalls import MMAP_BASE
+
+    handler = _handler(stop_on_attack=False)
+    first = handler.dispatch(int(Sys.MMAP), (0, 0x1800, 7, 0x22, 0, 0))
+    assert first == MMAP_BASE
+    assert handler.memory.is_mapped(first)
+    assert handler.memory.perms_at(first) == 7
+    second = handler.dispatch(int(Sys.MMAP), (0, 0x1000, 3, 0x22, 0, 0))
+    assert second == MMAP_BASE + 2 * PAGE_SIZE, "0x1800 rounds up to two pages"
+
+
+def test_mmap_model_rejects_bad_requests():
+    handler = _handler(stop_on_attack=False)
+    assert handler.dispatch(int(Sys.MMAP), (0, 0, 7, 0, 0, 0)) == _EINVAL
+    assert handler.dispatch(int(Sys.MMAP), (0, 0x1000, 0x10, 0, 0, 0)) == _EINVAL
+    assert handler.dispatch(int(Sys.MMAP), (0x700001, 0x1000, 7, 0, 0, 0)) == _EINVAL
+
+
+def test_mmap_model_refuses_to_clobber_existing_mapping():
+    from repro.emulator import PAGE_SIZE, PERM_R
+
+    handler = _handler(stop_on_attack=False)
+    handler.memory.map(0x700000, PAGE_SIZE, PERM_R)
+    ret = handler.dispatch(int(Sys.MMAP), (0x700000, 0x1000, 7, 0, 0, 0))
+    assert ret == _ENOMEM
+
+
 # -- write(2) length clamping ------------------------------------------------
 
 

@@ -1,7 +1,13 @@
-"""Tests for the syntactic equation inverter."""
+"""Tests for the syntactic equation inverter and Jcc inversion."""
 
+import itertools
+
+import pytest
 from hypothesis import given, strategies as st
 
+from repro.emulator.cpu import COND_PREDICATES, _flags_sub
+from repro.isa.instructions import COND_JUMPS, Op
+from repro.isa.registers import Flag
 from repro.symex.expr import (
     MASK64,
     bv_add,
@@ -15,10 +21,17 @@ from repro.symex.expr import (
     bv_xor,
     eval_bv,
 )
-from repro.symex.invert import solve_for
+from repro.symex.invert import JCC_INVERSE, invert_jcc, solve_for
 
 X = bv_sym("x")
 U64 = st.integers(min_value=0, max_value=MASK64)
+S64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+def _all_flag_states():
+    """All 16 assignments of (ZF, SF, CF, OF)."""
+    for zf, sf, cf, of in itertools.product((False, True), repeat=4):
+        yield {Flag.ZF: zf, Flag.SF: sf, Flag.CF: cf, Flag.OF: of}
 
 
 def check_inversion(expr, target):
@@ -95,3 +108,49 @@ def test_property_random_invertible_chains(consts, t):
         else:
             expr = bv_sub(bv_const(c), expr)
     check_inversion(expr, t)
+
+
+# -- conditional-jump inversion -------------------------------------------
+
+
+def test_invert_jcc_covers_every_conditional_jump():
+    assert set(JCC_INVERSE) == set(COND_JUMPS) == set(COND_PREDICATES)
+
+
+@pytest.mark.parametrize("op", sorted(COND_JUMPS, key=lambda o: o.value))
+def test_invert_jcc_round_trip(op):
+    inverse = invert_jcc(op)
+    assert inverse in COND_JUMPS
+    assert inverse is not op
+    assert invert_jcc(inverse) is op
+
+
+@pytest.mark.parametrize("op", sorted(COND_JUMPS, key=lambda o: o.value))
+def test_invert_jcc_predicate_complement(op):
+    """For every flag assignment, exactly one of op / invert(op) fires."""
+    taken = COND_PREDICATES[op]
+    inverse_taken = COND_PREDICATES[invert_jcc(op)]
+    for flags in _all_flag_states():
+        assert taken(flags) != inverse_taken(flags)
+
+
+def test_invert_jcc_rejects_non_conditionals():
+    for op in (Op.RET, Op.JMP_REL, Op.JMP_R, Op.CALL_R, Op.SYSCALL):
+        with pytest.raises(ValueError):
+            invert_jcc(op)
+
+
+@given(a=S64, b=S64)
+def test_invert_jcc_complement_on_cmp_flags(a, b):
+    """Complementarity on *reachable* flag states too: flags as a real
+    ``cmp a, b`` would set them, over signed and unsigned orderings."""
+    flags = _flags_sub(a & MASK64, b & MASK64)
+    for op in COND_JUMPS:
+        assert COND_PREDICATES[op](flags) != COND_PREDICATES[invert_jcc(op)](flags)
+    # Sanity: the CMP-derived predicates mean what their names say.
+    assert COND_PREDICATES[Op.JE](flags) == ((a & MASK64) == (b & MASK64))
+    assert COND_PREDICATES[Op.JL](flags) == (a < b)
+    assert COND_PREDICATES[Op.JB](flags) == ((a & MASK64) < (b & MASK64))
+    assert COND_PREDICATES[Op.JLE](flags) == (a <= b)
+    assert COND_PREDICATES[Op.JBE](flags) == ((a & MASK64) <= (b & MASK64))
+    assert COND_PREDICATES[Op.JS](flags) == (((a - b) & MASK64) >> 63 == 1)
