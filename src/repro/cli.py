@@ -9,6 +9,7 @@
     nfl extract prog.nflf [--jobs N] [--cache-dir PATH] [--no-cache] [--trace FILE]
     nfl census prog.nflf [--static] [--semantic] [--defenses [--policies P1,P2]] [--jobs N]
     nfl plan prog.nflf [--goal execve|mprotect|mmap|all] [--defense POLICY] [--max-plans N]
+    nfl fuzz [--seed N] [--iters N] [--oracle O1,O2] [--replay-corpus]
     nfl trace trace.jsonl
     nfl study prog.mc [--configs none,llvm_obf,...]
     nfl lint prog.mc [--sources optarg,recv,...]
@@ -293,6 +294,44 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import ORACLE_NAMES, find_repo_corpus, load_corpus, replay_corpus, run_fuzz
+
+    oracles = None
+    if args.oracle:
+        oracles = [name.strip() for name in args.oracle.split(",") if name.strip()]
+        unknown = set(oracles) - set(ORACLE_NAMES)
+        if unknown:
+            print(f"unknown oracle(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            print(f"available: {', '.join(ORACLE_NAMES)}", file=sys.stderr)
+            return 2
+    corpus_dir = None
+    if not args.no_bank:
+        corpus_dir = Path(args.corpus) if args.corpus else find_repo_corpus()
+    with _maybe_traced(args):
+        if args.replay_corpus:
+            target = Path(args.corpus) if args.corpus else find_repo_corpus()
+            if target is None:
+                print("no corpus directory found (pass --corpus)", file=sys.stderr)
+                return 2
+            cases = load_corpus(target)
+            failures = replay_corpus(target)
+            for message in failures:
+                print(f"  FAIL {message}")
+            status = "OK" if not failures else "FAILURES"
+            print(f"corpus replay: {status} ({len(cases)} case(s), {len(failures)} failure(s))")
+            return 1 if failures else 0
+        report = run_fuzz(
+            seed=args.seed,
+            iters=args.iters,
+            oracles=oracles,
+            corpus_dir=corpus_dir,
+            shrink=not args.no_shrink,
+        )
+    print(report.summary())
+    return 1 if report.failures else 0
+
+
 def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
@@ -394,6 +433,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flag(p)
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("fuzz", help="deterministic differential fuzzing across layers")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iters", type=int, default=100)
+    p.add_argument(
+        "--oracle",
+        metavar="O1,O2,...",
+        help="restrict to a comma-separated oracle subset (default: all, on their schedules)",
+    )
+    p.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="regression-corpus directory (default: the repo's tests/corpus when found)",
+    )
+    p.add_argument(
+        "--no-bank", action="store_true", help="do not write shrunken reproducers to the corpus"
+    )
+    p.add_argument("--no-shrink", action="store_true", help="skip auto-shrinking failures")
+    p.add_argument(
+        "--replay-corpus", action="store_true", help="replay every banked case and exit"
+    )
+    _add_trace_flag(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("trace", help="summarize a JSONL trace written by --trace")
     p.add_argument("trace_file")

@@ -36,7 +36,7 @@ from ..gadgets.record import GadgetRecord
 from .serialize import FORMAT_VERSION, config_key_bytes, pool_from_bytes, pool_to_bytes
 
 #: Bump when extraction/winnow semantics change: every old key dies.
-PIPELINE_VERSION = 1
+PIPELINE_VERSION = 2
 
 #: Environment override for the default cache root.
 CACHE_DIR_ENV = "NFL_CACHE_DIR"

@@ -101,6 +101,9 @@ class AbsFlags:
     of: Tribool
     a: AbsVal = TOP
     b: AbsVal = TOP
+    # Mirrors ``FlagsState.cf_patched``: CF was rewritten post hoc
+    # (INC/DEC preserve CF), so unsigned conditions must read ``cf``.
+    cf_patched: bool = False
 
     @classmethod
     def initial(cls) -> "AbsFlags":
@@ -142,7 +145,7 @@ class AbsFlags:
         )
 
     def with_cf(self, cf: Tribool) -> "AbsFlags":
-        return AbsFlags(self.kind, self.zf, self.sf, cf, self.of, self.a, self.b)
+        return AbsFlags(self.kind, self.zf, self.sf, cf, self.of, self.a, self.b, cf_patched=True)
 
     def condition(self, mnemonic: str) -> Tribool:
         """Is the given Jcc taken?  Mirrors ``FlagsState.condition``."""
@@ -160,7 +163,9 @@ class AbsFlags:
                 "ja": lambda: _tricmp("ult", b, a),
                 "jae": lambda: _tricmp("ule", b, a),
             }
-            if mnemonic in direct:
+            if self.cf_patched and mnemonic in ("jb", "jbe", "ja", "jae"):
+                pass  # borrow of a-b is stale; fall through to patched cf
+            elif mnemonic in direct:
                 return direct[mnemonic]()
         sf_xor_of = self.sf ^ self.of
         generic = {

@@ -356,6 +356,7 @@ class SymbolicExecutor:
             old_cf = state.flags.cf
             state.flags = FlagsState.from_add(a, bv_const(1), result)
             state.flags.cf = old_cf  # INC preserves CF, as on x86
+            state.flags.cf_patched = True
             state.set(insn.dst, result)
             return
         if op == Op.DEC_R:
@@ -364,6 +365,7 @@ class SymbolicExecutor:
             old_cf = state.flags.cf
             state.flags = FlagsState.from_sub(a, bv_const(1), result)
             state.flags.cf = old_cf
+            state.flags.cf_patched = True
             state.set(insn.dst, result)
             return
         if op in (Op.UDIV_RR, Op.UMOD_RR):

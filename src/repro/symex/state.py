@@ -119,6 +119,10 @@ class FlagsState:
     # Operands of the producing sub/cmp, for readable conditions.
     a: Optional[BV] = None
     b: Optional[BV] = None
+    # True when ``cf`` was overwritten after construction (INC/DEC
+    # preserve CF on x86): the SUB/ADD borrow no longer describes it,
+    # so CF-dependent conditions must use ``cf`` itself, not a/b.
+    cf_patched: bool = False
 
     @classmethod
     def initial(cls) -> "FlagsState":
@@ -185,7 +189,9 @@ class FlagsState:
                 "ja": cmp(CmpOp.ULT, b, a),
                 "jae": cmp(CmpOp.ULE, b, a),
             }
-            if mnemonic in direct:
+            if self.cf_patched and mnemonic in ("jb", "jbe", "ja", "jae"):
+                pass  # borrow of a-b is stale; fall through to patched cf
+            elif mnemonic in direct:
                 return direct[mnemonic]
         generic = {
             "je": self.zf,

@@ -1,0 +1,38 @@
+"""Replay the seeded regression corpus (tests/corpus/*.json).
+
+Every case in the corpus is a shrunken reproducer of a divergence the
+differential fuzzer once found (or a pinned agreement worth guarding).
+This test replays each against today's stack — any red here means a
+previously-fixed cross-layer bug has returned.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import ORACLE_NAMES, load_corpus, run_case
+from repro.fuzz.corpus import case_filename
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+CASES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    assert len(CASES) >= 10, "the regression corpus must hold at least 10 cases"
+    oracles = {case.oracle for case in CASES}
+    assert {"emu_symex", "roundtrip", "prefilter", "winnow"} <= oracles
+
+
+def test_corpus_files_are_canonical():
+    names = {path.name for path in CORPUS_DIR.glob("*.json")}
+    for case in CASES:
+        assert case.oracle in ORACLE_NAMES
+        assert case_filename(case) in names  # content-addressed name matches
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.note.split(":")[0] or f"case{i}" for i, case in enumerate(CASES)]
+)
+def test_corpus_case_replays_green(case):
+    assert run_case(case) == [], f"regression: {case.note}"

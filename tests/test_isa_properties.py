@@ -1,0 +1,146 @@
+"""Property tests for repro.isa.encoding (fuzz satellite).
+
+Exhaustive encode→decode round-trips over every instruction form and
+operand width, alias-opcode canonicalization, and ``decode_window``
+self-consistency at unaligned offsets of adversarial byte strings.
+"""
+
+import random
+
+import pytest
+
+from repro.isa.encoding import DecodeError, decode, decode_window, encode
+from repro.isa.instructions import OP_TABLE, Instruction, Op, OperandLayout, opcode_operands
+from repro.isa.registers import ALL_REGS, Reg
+
+IMM64_SAMPLES = [0, 1, 0x7F, 0x80, 0xFF, 0x1234, 0xFFFF_FFFF, 1 << 63, (1 << 64) - 1]
+IMM32_SAMPLES = [0, 1, 0x7F, -1, -0x80, 0x7FFF_FFFF, -(1 << 31)]
+IMM8_SAMPLES = [0, 1, 7, 63, 127, 255]
+REL32_SAMPLES = [0, 1, -1, 5, -5, 0x7FFF_FFFF, -(1 << 31)]
+DISP_SAMPLES = [0, 8, -8, 0x100, -0x100, 0x7FFF_FFFF, -(1 << 31)]
+
+
+def _samples_for(op: Op):
+    """Every operand combination worth testing for one opcode."""
+    layout = OP_TABLE[op].layout
+    if layout is OperandLayout.NONE:
+        return [Instruction(op=op)]
+    if layout in (OperandLayout.REG, OperandLayout.REG_IN_OPCODE):
+        return [Instruction(op=op, dst=r) for r in ALL_REGS]
+    if layout is OperandLayout.REG_REG:
+        return [Instruction(op=op, dst=a, src=b) for a in ALL_REGS for b in ALL_REGS]
+    if layout is OperandLayout.REG_IMM64:
+        return [Instruction(op=op, dst=r, imm=v) for r in ALL_REGS for v in IMM64_SAMPLES]
+    if layout is OperandLayout.REG_IMM32:
+        return [Instruction(op=op, dst=r, imm=v) for r in ALL_REGS for v in IMM32_SAMPLES]
+    if layout is OperandLayout.REG_IMM8:
+        return [Instruction(op=op, dst=r, imm=v) for r in ALL_REGS for v in IMM8_SAMPLES]
+    if layout is OperandLayout.REG_MEM:
+        return [
+            Instruction(op=op, dst=a, base=b, disp=d)
+            for a in ALL_REGS
+            for b in ALL_REGS
+            for d in DISP_SAMPLES[:3]
+        ] + [Instruction(op=op, dst=Reg.RAX, base=Reg.RBX, disp=d) for d in DISP_SAMPLES]
+    if layout is OperandLayout.MEM_REG:
+        return [
+            Instruction(op=op, base=b, src=s, disp=d)
+            for b in ALL_REGS
+            for s in ALL_REGS
+            for d in DISP_SAMPLES[:3]
+        ] + [Instruction(op=op, base=Reg.RBX, src=Reg.RAX, disp=d) for d in DISP_SAMPLES]
+    if layout is OperandLayout.IMM64:
+        return [Instruction(op=op, imm=v) for v in IMM64_SAMPLES]
+    if layout is OperandLayout.REL32:
+        return [Instruction(op=op, rel=v) for v in REL32_SAMPLES]
+    if layout is OperandLayout.MEM:
+        return [Instruction(op=op, base=b, disp=d) for b in ALL_REGS for d in DISP_SAMPLES]
+    raise AssertionError(f"unhandled layout {layout}")
+
+
+@pytest.mark.parametrize("op", list(Op), ids=lambda op: op.name)
+def test_encode_decode_roundtrip_exhaustive(op):
+    """encode→decode is the identity (up to address) for every form."""
+    for insn in _samples_for(op):
+        blob = encode(insn)
+        assert len(blob) == insn.size == OP_TABLE[op].size
+        back = decode(blob, 0)
+        assert opcode_operands(back) == opcode_operands(insn), insn
+
+
+@pytest.mark.parametrize("op", list(Op), ids=lambda op: op.name)
+def test_alias_opcode_decodes_canonically(op):
+    """Setting the opcode high bit must not change the decode, and
+    re-encoding an alias yields the canonical low form."""
+    for insn in _samples_for(op)[:24]:
+        blob = encode(insn)
+        alias = bytes([blob[0] | 0x80]) + blob[1:]
+        back = decode(alias, 0)
+        assert opcode_operands(back) == opcode_operands(insn)
+        assert encode(back) == blob  # canonical form restored
+
+
+def test_decode_rejects_bad_reg_high_nibble():
+    """REG-layout operand bytes with a nonzero high nibble are invalid
+    (this is what makes unaligned decoding terminate)."""
+    blob = bytearray(encode(Instruction(op=Op.INC_R, dst=Reg.RAX)))
+    blob[1] |= 0x10
+    with pytest.raises(DecodeError):
+        decode(bytes(blob), 0)
+
+
+def test_decode_truncated_raises():
+    blob = encode(Instruction(op=Op.MOV_RI, dst=Reg.RAX, imm=0x1122334455667788))
+    for cut in range(1, len(blob)):
+        with pytest.raises(DecodeError):
+            decode(blob[:cut], 0)
+
+
+def test_imm_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        encode(Instruction(op=Op.ADD_RI, dst=Reg.RAX, imm=1 << 31))
+    with pytest.raises(ValueError):
+        encode(Instruction(op=Op.SHL_RI, dst=Reg.RAX, imm=256))
+    with pytest.raises(ValueError):
+        encode(Instruction(op=Op.JMP_REL, rel=1 << 31))
+
+
+def test_decode_window_unaligned_self_consistency():
+    """At every (unaligned) offset of adversarial byte strings, the
+    window chain is contiguous and agrees with pointwise decode."""
+    rng = random.Random(1234)
+    ops = [int(op) for op in Op]
+    for _ in range(40):
+        data = bytearray(rng.getrandbits(8) for _ in range(72))
+        for _ in range(18):
+            pos = rng.randrange(len(data))
+            data[pos] = rng.choice(ops) | (0x80 if rng.random() < 0.5 else 0)
+        data = bytes(data)
+        for off in range(len(data)):
+            cursor = off
+            for insn in decode_window(data, off, base_addr=0, max_insns=10_000):
+                assert insn.addr == cursor
+                point = decode(data, cursor)
+                assert opcode_operands(point) == opcode_operands(insn)
+                assert insn.size == point.size
+                cursor += insn.size
+            # The chain must stop only at a decode failure or the end.
+            if cursor < len(data):
+                with pytest.raises(DecodeError):
+                    decode(data, cursor)
+
+
+def test_canonical_reencode_matches_bytes():
+    """encode(decode(data, off)) reproduces the canonical bytes for
+    every decodable offset of random data (the fuzzer's roundtrip
+    oracle, pinned here as a property test)."""
+    rng = random.Random(99)
+    for _ in range(30):
+        data = bytes(rng.getrandbits(8) for _ in range(64))
+        for off in range(len(data)):
+            try:
+                insn = decode(data, off)
+            except DecodeError:
+                continue
+            canonical = bytes([data[off] & 0x7F]) + data[off + 1 : off + insn.size]
+            assert encode(insn) == canonical
